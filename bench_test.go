@@ -1,0 +1,195 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§6) at full workload sizes, plus the theorem verifications and the
+// ablation studies. Each benchmark reports the figure's query counts as
+// custom metrics (the paper's cost measure) alongside Go's time/allocation
+// metrics, and logs the rendered table once per run:
+//
+//	go test -bench=. -benchmem                 # everything
+//	go test -bench=BenchmarkFigure11a -v       # one figure, with its table
+package hidb_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"hidb/internal/core"
+	"hidb/internal/experiments"
+)
+
+func benchConfig() experiments.Config { return experiments.DefaultConfig() }
+
+// reportFigure attaches every series point as a custom benchmark metric and
+// logs the aligned table.
+func reportFigure(b *testing.B, fig *experiments.Figure, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range fig.Series {
+		for i, v := range s.Values {
+			name := fmt.Sprintf("%s_%s=%v_queries", s.Label, fig.XLabel, fig.X[i])
+			if math.IsNaN(v) {
+				continue // unsolvable point (e.g. Yahoo at k=64)
+			}
+			b.ReportMetric(v, name)
+		}
+	}
+	b.Log("\n" + fig.Table().String())
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := experiments.Figure9(benchConfig())
+		if i == 0 {
+			for _, t := range tables {
+				b.Log("\n" + t.String())
+			}
+		}
+	}
+}
+
+func BenchmarkFigure10a(b *testing.B) {
+	var fig *experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiments.Figure10a(benchConfig())
+	}
+	reportFigure(b, fig, err)
+}
+
+func BenchmarkFigure10b(b *testing.B) {
+	var fig *experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiments.Figure10b(benchConfig())
+	}
+	reportFigure(b, fig, err)
+}
+
+func BenchmarkFigure10c(b *testing.B) {
+	var fig *experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiments.Figure10c(benchConfig())
+	}
+	reportFigure(b, fig, err)
+}
+
+func BenchmarkFigure11a(b *testing.B) {
+	var fig *experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiments.Figure11a(benchConfig())
+	}
+	reportFigure(b, fig, err)
+}
+
+func BenchmarkFigure11b(b *testing.B) {
+	var fig *experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiments.Figure11b(benchConfig())
+	}
+	reportFigure(b, fig, err)
+}
+
+func BenchmarkFigure11c(b *testing.B) {
+	var fig *experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiments.Figure11c(benchConfig())
+	}
+	reportFigure(b, fig, err)
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	var fig *experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiments.Figure12(benchConfig())
+	}
+	reportFigure(b, fig, err)
+}
+
+func BenchmarkFigure13(b *testing.B) {
+	var fig *experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiments.Figure13(benchConfig())
+	}
+	reportFigure(b, fig, err)
+}
+
+func BenchmarkTheorem3(b *testing.B) {
+	var check *experiments.TheoremCheck
+	var err error
+	for i := 0; i < b.N; i++ {
+		check, err = experiments.Theorem3(benchConfig(), 100, 8, 32)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(check.Cost), "queries")
+	b.ReportMetric(float64(check.LowerBound), "lower_bound")
+	b.ReportMetric(float64(check.UpperBound), "upper_bound")
+}
+
+func BenchmarkTheorem4(b *testing.B) {
+	var check *experiments.TheoremCheck
+	var err error
+	for i := 0; i < b.N; i++ {
+		check, err = experiments.Theorem4(benchConfig(), 8, 4, core.SliceCover{})
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(check.Cost), "queries")
+	b.ReportMetric(float64(check.UpperBound), "upper_bound")
+}
+
+func BenchmarkAblationSplitThreshold(b *testing.B) {
+	var fig *experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiments.AblationSplitThreshold(benchConfig())
+	}
+	reportFigure(b, fig, err)
+}
+
+func BenchmarkAblationEagerVsLazy(b *testing.B) {
+	var fig *experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiments.AblationEagerVsLazy(benchConfig())
+	}
+	reportFigure(b, fig, err)
+}
+
+func BenchmarkAblationDependencyFilter(b *testing.B) {
+	var fig *experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiments.AblationDependencyFilter(benchConfig())
+	}
+	reportFigure(b, fig, err)
+}
+
+func BenchmarkAblationParallel(b *testing.B) {
+	var fig *experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiments.AblationParallel(benchConfig(), 2*time.Millisecond)
+	}
+	reportFigure(b, fig, err)
+}
+
+func BenchmarkAblationAttributeOrder(b *testing.B) {
+	var fig *experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiments.AblationAttributeOrder(benchConfig())
+	}
+	reportFigure(b, fig, err)
+}

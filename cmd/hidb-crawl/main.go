@@ -1,0 +1,212 @@
+// Command hidb-crawl extracts a complete hidden database, either from a
+// remote HTTP server (see hidb-server) or from an in-process synthetic
+// dataset, and reports the query cost — the paper's efficiency metric.
+//
+// Usage:
+//
+//	hidb-crawl -url http://localhost:8080                  # remote crawl
+//	hidb-crawl -dataset yahoo -k 1000                      # in-process
+//	hidb-crawl -dataset nsf -k 256 -algo dfs -progress
+//	hidb-crawl -dataset adult -k 256 -out tuples.tsv
+//	hidb-crawl -url ... -journal state.jnl                 # resumable
+//	hidb-crawl -url ... -workers 16                        # parallel
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"hidb"
+	"hidb/internal/core"
+	"hidb/internal/datagen"
+	"hidb/internal/progress"
+)
+
+// loadJournal reads the journal file or starts a fresh one matching srv.
+func loadJournal(path string, srv hidb.Server) *hidb.Journal {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return hidb.NewJournal(srv.Schema(), srv.K())
+	}
+	if err != nil {
+		log.Print(err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	j, err := hidb.ReadJournal(f)
+	if err != nil {
+		log.Printf("reading journal %s: %v", path, err)
+		os.Exit(1)
+	}
+	return j
+}
+
+// saveJournal atomically persists the journal next to its final path.
+func saveJournal(path string, j *hidb.Journal) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := j.WriteTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hidb-crawl: ")
+
+	url := flag.String("url", "", "remote hidden database base URL (overrides -dataset)")
+	dataset := flag.String("dataset", "yahoo", "in-process dataset: yahoo, nsf, adult, adult-numeric")
+	algo := flag.String("algo", "", "algorithm: "+strings.Join(core.Names(), ", ")+" (default: best for the schema)")
+	k := flag.Int("k", 1000, "return limit for in-process serving")
+	n := flag.Int("n", 0, "override in-process dataset cardinality (0 = paper size)")
+	seed := flag.Uint64("seed", 11, "dataset generator seed")
+	prioritySeed := flag.Uint64("priority-seed", 42, "priority permutation seed")
+	out := flag.String("out", "", "write extracted tuples as TSV to this file")
+	showProgress := flag.Bool("progress", false, "print the progressiveness curve deciles")
+	journalPath := flag.String("journal", "", "journal file for resumable crawls (created if absent)")
+	workers := flag.Int("workers", 1, "concurrent in-flight queries (same cost, less wall-clock)")
+	flag.Parse()
+
+	var srv hidb.Server
+	var groundTruth hidb.Bag
+	if *url != "" {
+		c, err := hidb.DialHTTP(*url, nil)
+		if err != nil {
+			log.Print(err)
+			os.Exit(1)
+		}
+		srv = c
+		log.Printf("remote schema: %s (k=%d)", c.Schema(), c.K())
+	} else {
+		ds, err := datagen.ByName(*dataset, *n, *seed)
+		if err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+		local, err := hidb.NewLocalServer(ds.Schema, ds.Tuples, *k, *prioritySeed)
+		if err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+		srv = local
+		groundTruth = ds.Tuples
+		log.Printf("in-process %s: n=%d, k=%d", ds.Name, ds.N(), *k)
+	}
+
+	crawler := hidb.BestCrawler(srv.Schema())
+	if *algo != "" {
+		var err error
+		crawler, err = hidb.NewCrawler(*algo)
+		if err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+	}
+	if *workers > 1 {
+		if *algo != "" {
+			log.Printf("-workers overrides -algo: the parallel engine runs the hybrid family")
+		}
+		crawler = hidb.ParallelCrawler(*workers)
+	}
+
+	// Resumable crawls: replay the journal in front of the server, and
+	// persist it afterwards — even when the crawl dies on a quota.
+	var jnl *hidb.Journal
+	if *journalPath != "" {
+		jnl = loadJournal(*journalPath, srv)
+		before := jnl.Len()
+		wrapped, err := hidb.WithJournal(srv, jnl)
+		if err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+		srv = wrapped
+		log.Printf("journal %s: %d queries already paid for", *journalPath, before)
+	}
+
+	opts := &hidb.CrawlOptions{CollectCurve: *showProgress}
+	start := time.Now()
+	res, err := crawler.Crawl(srv, opts)
+	if jnl != nil {
+		if serr := saveJournal(*journalPath, jnl); serr != nil {
+			log.Printf("saving journal: %v", serr)
+		} else {
+			log.Printf("journal saved: %d total paid queries", jnl.Len())
+		}
+	}
+	if err != nil {
+		log.Printf("crawl failed: %v", err)
+		if errors.Is(err, hidb.ErrQuotaExceeded) && jnl != nil {
+			log.Print("re-run with the same -journal to resume where this session stopped")
+		}
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("algorithm   %s\n", crawler.Name())
+	fmt.Printf("tuples      %d\n", len(res.Tuples))
+	fmt.Printf("queries     %d (%d resolved, %d overflowed, %d skipped)\n",
+		res.Queries, res.Resolved, res.Overflowed, res.Skipped)
+	fmt.Printf("elapsed     %v\n", elapsed.Round(time.Millisecond))
+	if groundTruth != nil {
+		fmt.Printf("complete    %v\n", res.Tuples.EqualMultiset(groundTruth))
+	}
+	if *showProgress {
+		curve := progress.Normalize(res.Curve)
+		fmt.Printf("progress    %s (max deviation from linear: %.1f%%)\n",
+			curve, curve.MaxDeviation()*100)
+	}
+
+	if *out != "" {
+		if err := writeTSV(*out, srv.Schema(), res.Tuples); err != nil {
+			log.Print(err)
+			os.Exit(1)
+		}
+		log.Printf("wrote %d tuples to %s", len(res.Tuples), *out)
+	}
+}
+
+func writeTSV(path string, schema *hidb.Schema, tuples hidb.Bag) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for i := 0; i < schema.Dims(); i++ {
+		if i > 0 {
+			fmt.Fprint(w, "\t")
+		}
+		fmt.Fprint(w, schema.Attr(i).Name)
+	}
+	fmt.Fprintln(w)
+	for _, t := range tuples {
+		for i, v := range t {
+			if i > 0 {
+				fmt.Fprint(w, "\t")
+			}
+			fmt.Fprint(w, v)
+		}
+		fmt.Fprintln(w)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}

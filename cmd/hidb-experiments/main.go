@@ -1,0 +1,47 @@
+// Command hidb-experiments regenerates every table and figure of the
+// paper's evaluation section (§6), the theorem verifications, and the
+// ablation studies, printing them as aligned text tables or CSV.
+//
+// Usage:
+//
+//	hidb-experiments [-csv] [-scale f] [-seed n] [-priority-seed n] [fig ...]
+//
+// With no figure arguments everything runs. Figure names: 9, 10a, 10b, 10c,
+// 11a, 11b, 11c, 12, 13, theorems, ablations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hidb/internal/experiments"
+)
+
+func main() {
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	scale := flag.Float64("scale", 1.0, "dataset size multiplier (1.0 = paper sizes)")
+	seed := flag.Uint64("seed", 11, "dataset generator seed")
+	prioritySeed := flag.Uint64("priority-seed", 42, "server priority permutation seed")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: hidb-experiments [flags] [fig ...]\n"+
+				"figures: 9 10a 10b 10c 11a 11b 11c 12 13 theorems ablations (default: all)\n\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	cfg := experiments.Config{
+		DataSeed:     *seed,
+		PrioritySeed: *prioritySeed,
+		Scale:        *scale,
+	}
+	only := map[string]bool{}
+	for _, a := range flag.Args() {
+		only[a] = true
+	}
+	if err := experiments.Report(os.Stdout, cfg, only, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "hidb-experiments:", err)
+		os.Exit(1)
+	}
+}

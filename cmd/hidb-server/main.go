@@ -1,0 +1,91 @@
+// Command hidb-server serves a synthetic hidden database over HTTP,
+// emulating a real site's form-based search interface: GET /schema describes
+// the form, POST /query answers at most k tuples plus an overflow signal.
+//
+// Usage:
+//
+//	hidb-server -dataset yahoo -k 1000 -addr :8080
+//	hidb-server -dataset nsf -k 256 -quota 50000
+//
+// Crawl it with `hidb-crawl -url http://localhost:8080`.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"hidb"
+	"hidb/internal/datagen"
+	"hidb/internal/httpserver"
+	"hidb/internal/tableload"
+)
+
+// loadFile serves a user-supplied CSV/TSV file as the hidden database.
+func loadFile(path string) (*datagen.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	loaded, err := tableload.Read(f, tableload.Options{
+		Name: filepath.Base(path),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return loaded.Dataset, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hidb-server: ")
+
+	dataset := flag.String("dataset", "yahoo", "dataset to serve: yahoo, nsf, adult, adult-numeric")
+	file := flag.String("file", "", "serve a CSV/TSV file (header row required; overrides -dataset)")
+	k := flag.Int("k", 1000, "server return limit (tuples per query)")
+	n := flag.Int("n", 0, "override dataset cardinality (0 = paper size)")
+	seed := flag.Uint64("seed", 11, "dataset generator seed")
+	prioritySeed := flag.Uint64("priority-seed", 42, "tuple priority permutation seed")
+	addr := flag.String("addr", ":8080", "listen address")
+	quota := flag.Int("quota", 0, "max queries served (0 = unlimited)")
+	flag.Parse()
+
+	var ds *datagen.Dataset
+	var err error
+	if *file != "" {
+		ds, err = loadFile(*file)
+	} else {
+		ds, err = datagen.ByName(*dataset, *n, *seed)
+	}
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+	srv, err := hidb.NewLocalServer(ds.Schema, ds.Tuples, *k, *prioritySeed)
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+
+	var opts []httpserver.Option
+	if *quota > 0 {
+		opts = append(opts, httpserver.WithQuota(*quota))
+	}
+	handler := httpserver.New(srv, opts...)
+
+	log.Printf("serving %s (n=%d, k=%d, max duplicates=%d) on %s",
+		ds.Name, ds.N(), *k, ds.Tuples.MaxMultiplicity(), *addr)
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if err := server.ListenAndServe(); err != nil {
+		log.Print(err)
+		os.Exit(1)
+	}
+}

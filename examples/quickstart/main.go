@@ -1,0 +1,58 @@
+// Quickstart: define a search form's schema, stand up a hidden database
+// behind it, and extract every tuple with the paper's optimal algorithm.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hidb"
+)
+
+func main() {
+	// A tiny used-car site: the search form has one categorical menu and
+	// two numeric range fields. Categorical attributes come first.
+	schema := hidb.MustSchema([]hidb.Attribute{
+		{Name: "Body-style", Kind: hidb.Categorical, DomainSize: 3},
+		{Name: "Year", Kind: hidb.Numeric, Min: 2000, Max: 2012},
+		{Name: "Price", Kind: hidb.Numeric, Min: 500, Max: 50000},
+	})
+
+	// The site's inventory. Note the duplicate listing — hidden databases
+	// are bags, and the crawler must recover multiplicities too.
+	inventory := hidb.Bag{
+		{1, 2009, 9500},
+		{1, 2009, 9500}, // same car listed twice
+		{1, 2011, 14300},
+		{2, 2005, 4200},
+		{2, 2012, 21000},
+		{3, 2008, 7800},
+		{3, 2010, 12650},
+		{3, 2012, 30500},
+	}
+
+	// The server returns at most k=2 tuples per query, so a single broad
+	// query cannot dump the database — the crawler has to be clever.
+	srv, err := hidb.NewLocalServer(schema, inventory, 2, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Crawl picks the right algorithm for the schema (hybrid here, since
+	// the space mixes categorical and numeric attributes).
+	res, err := hidb.Crawl(srv, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("extracted %d tuples with %d queries (k=%d)\n",
+		len(res.Tuples), res.Queries, srv.K())
+	fmt.Printf("complete: %v\n", res.Tuples.EqualMultiset(inventory))
+	for _, t := range res.Tuples.Clone().SortCanonical() {
+		fmt.Println(" ", t)
+	}
+}

@@ -1,0 +1,202 @@
+// Package hidb is a library for crawling hidden web databases — datasets
+// reachable only through a form-based search interface that returns at most
+// k tuples per query plus an overflow signal. It implements the provably
+// optimal algorithms of Sheng, Zhang, Tao and Jin, "Optimal Algorithms for
+// Crawling a Hidden Database in the Web" (PVLDB 5(11), 2012):
+//
+//   - rank-shrink for numeric search forms — O(d·n/k) queries;
+//   - slice-cover / lazy-slice-cover for categorical forms;
+//   - hybrid for mixed forms;
+//
+// together with the paper's baselines (binary-shrink, DFS), a conforming
+// hidden-database server simulator, an HTTP server/client pair for crawling
+// over the wire, synthetic workload generators, and the full experiment
+// harness reproducing the paper's evaluation.
+//
+// # Quick start
+//
+//	schema := hidb.MustSchema([]hidb.Attribute{
+//		{Name: "Make", Kind: hidb.Categorical, DomainSize: 85},
+//		{Name: "Price", Kind: hidb.Numeric, Min: 200, Max: 250000},
+//	})
+//	srv, _ := hidb.NewLocalServer(schema, tuples, 1000, 42)
+//	res, err := hidb.Crawl(srv, nil) // picks the paper's optimal algorithm
+//	// res.Tuples is the complete database; res.Queries the cost.
+//
+// To crawl a remote hidden database, expose it with NewHTTPHandler on the
+// serving side and DialHTTP on the crawling side; every algorithm runs
+// unmodified against the remote connection.
+package hidb
+
+import (
+	"io"
+	"net/http"
+
+	"hidb/internal/core"
+	"hidb/internal/datagen"
+	"hidb/internal/dataspace"
+	"hidb/internal/hiddendb"
+	"hidb/internal/httpclient"
+	"hidb/internal/httpserver"
+	"hidb/internal/journal"
+	"hidb/internal/parallel"
+)
+
+// Core data-space types. See the dataspace package for full documentation.
+type (
+	// Schema is an ordered list of attributes defining a data space.
+	Schema = dataspace.Schema
+	// Attribute describes one dimension of the data space.
+	Attribute = dataspace.Attribute
+	// Kind distinguishes numeric from categorical attributes.
+	Kind = dataspace.Kind
+	// Tuple is one row of the hidden database.
+	Tuple = dataspace.Tuple
+	// Bag is a multiset of tuples.
+	Bag = dataspace.Bag
+	// Query is a form query: one predicate per attribute.
+	Query = dataspace.Query
+	// Pred is a single-attribute predicate.
+	Pred = dataspace.Pred
+)
+
+// Attribute kinds.
+const (
+	// Numeric attributes accept range predicates.
+	Numeric = dataspace.Numeric
+	// Categorical attributes accept equality-or-wildcard predicates.
+	Categorical = dataspace.Categorical
+)
+
+// Server-side types. See the hiddendb package.
+type (
+	// Server is the query interface of a hidden database.
+	Server = hiddendb.Server
+	// QueryResult is a server's response to one query.
+	QueryResult = hiddendb.Result
+	// LocalServer is an in-process hidden database.
+	LocalServer = hiddendb.Local
+)
+
+// Crawler-side types. See the core package.
+type (
+	// Crawler is a complete-extraction algorithm.
+	Crawler = core.Crawler
+	// CrawlResult is the outcome of a crawl: the full bag plus the cost.
+	CrawlResult = core.Result
+	// CrawlOptions tunes a crawl (progress callbacks, §1.3 dependency
+	// filter, progressiveness curve collection).
+	CrawlOptions = core.Options
+	// CurvePoint is one sample of the progressiveness curve.
+	CurvePoint = core.CurvePoint
+)
+
+// Dataset bundles a schema with a bag of tuples (see datagen).
+type Dataset = datagen.Dataset
+
+// Errors.
+var (
+	// ErrUnsolvable reports that some point holds more than k duplicate
+	// tuples, making complete extraction impossible (§1.1 of the paper).
+	ErrUnsolvable = core.ErrUnsolvable
+	// ErrWrongSpace reports an algorithm applied to an unsupported space.
+	ErrWrongSpace = core.ErrWrongSpace
+	// ErrQuotaExceeded reports an exhausted server query budget.
+	ErrQuotaExceeded = hiddendb.ErrQuotaExceeded
+)
+
+// NewSchema validates the attribute list and returns a schema. Categorical
+// attributes must precede numeric ones, matching the paper's convention.
+func NewSchema(attrs []Attribute) (*Schema, error) { return dataspace.NewSchema(attrs) }
+
+// MustSchema is NewSchema that panics on error.
+func MustSchema(attrs []Attribute) *Schema { return dataspace.MustSchema(attrs) }
+
+// UniverseQuery returns the query covering the whole data space.
+func UniverseQuery(s *Schema) Query { return dataspace.UniverseQuery(s) }
+
+// NewQuery builds a query from explicit predicates.
+func NewQuery(s *Schema, preds []Pred) (Query, error) { return dataspace.NewQuery(s, preds) }
+
+// NewLocalServer builds an in-process hidden database over the bag with
+// return limit k. The seed fixes the tuple-priority permutation, so equal
+// seeds give bit-identical servers.
+func NewLocalServer(schema *Schema, tuples Bag, k int, seed uint64) (*LocalServer, error) {
+	return hiddendb.NewLocal(schema, tuples, k, seed)
+}
+
+// NewCrawler returns the algorithm with the given paper name: one of
+// "binary-shrink", "rank-shrink", "dfs", "slice-cover", "lazy-slice-cover"
+// or "hybrid".
+func NewCrawler(name string) (Crawler, error) { return core.ByName(name) }
+
+// CrawlerNames lists the available algorithm names.
+func CrawlerNames() []string { return core.Names() }
+
+// BestCrawler returns the paper's recommended algorithm for the schema:
+// rank-shrink (numeric), lazy-slice-cover (categorical) or hybrid (mixed).
+func BestCrawler(s *Schema) Crawler { return core.ForSchema(s) }
+
+// Crawl extracts the entire hidden database behind srv using the paper's
+// recommended algorithm for the server's schema.
+func Crawl(srv Server, opts *CrawlOptions) (*CrawlResult, error) {
+	return core.ForSchema(srv.Schema()).Crawl(srv, opts)
+}
+
+// NewHTTPHandler exposes a Server over HTTP (GET /schema, POST /query).
+// A positive quota caps the number of queries served, mirroring per-IP
+// limits of real sites; zero means unlimited.
+func NewHTTPHandler(srv Server, quota int) http.Handler {
+	if quota > 0 {
+		return httpserver.New(srv, httpserver.WithQuota(quota))
+	}
+	return httpserver.New(srv)
+}
+
+// DialHTTP connects to a remote hidden database served by NewHTTPHandler
+// and returns it as a Server every algorithm can crawl. A nil httpClient
+// uses http.DefaultClient.
+func DialHTTP(baseURL string, httpClient *http.Client) (Server, error) {
+	return httpclient.Dial(baseURL, httpClient)
+}
+
+// ParallelCrawler returns a crawler that keeps up to workers queries in
+// flight at once. The set of issued queries — and therefore the paper's
+// cost metric — is identical to the sequential algorithms'; only the
+// wall-clock time divides by the worker count. Use it when each query is a
+// real network round-trip. OnProgress and QueryFilter callbacks must be
+// safe for concurrent invocation.
+func ParallelCrawler(workers int) Crawler { return parallel.Crawler{Workers: workers} }
+
+// Journal is a replayable log of server responses that makes crawls
+// resumable across query quotas (see the journal package).
+type Journal = journal.Journal
+
+// NewJournal creates an empty journal for a server with the given schema
+// and return limit.
+func NewJournal(schema *Schema, k int) *Journal { return journal.New(schema, k) }
+
+// ReadJournal deserializes a journal written with Journal.WriteTo.
+func ReadJournal(r io.Reader) (*Journal, error) { return journal.ReadFrom(r) }
+
+// WithJournal wraps a server so that journaled queries are answered from
+// the log at zero cost and new responses are recorded. Re-running a crawl
+// with the same journal fast-forwards through everything already paid for —
+// the way to finish a crawl across several per-IP query budgets.
+func WithJournal(srv Server, j *Journal) (Server, error) { return journal.Wrap(srv, j) }
+
+// Workload generators (see datagen for the fidelity discussion).
+var (
+	// YahooLike generates the Yahoo! Autos stand-in (69,768 tuples, mixed).
+	YahooLike = datagen.YahooLike
+	// NSFLike generates the NSF awards stand-in (47,816 tuples, categorical).
+	NSFLike = datagen.NSFLike
+	// AdultLike generates the census stand-in (45,222 tuples, mixed).
+	AdultLike = datagen.AdultLike
+	// AdultNumeric generates the numeric projection of AdultLike.
+	AdultNumeric = datagen.AdultNumeric
+	// HardNumeric builds the Theorem-3 adversarial numeric instance.
+	HardNumeric = datagen.HardNumeric
+	// HardCategorical builds the Theorem-4 adversarial categorical instance.
+	HardCategorical = datagen.HardCategorical
+)

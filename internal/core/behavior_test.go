@@ -1,0 +1,411 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"hidb/internal/datagen"
+	"hidb/internal/dataspace"
+	"hidb/internal/hiddendb"
+)
+
+func numericDS(t *testing.T, n int, seed uint64) *datagen.Dataset {
+	t.Helper()
+	ds, err := datagen.Random(datagen.RandomSpec{
+		N:         n,
+		NumRanges: [][2]int64{{0, 10000}, {0, 100}},
+		DupRate:   0.05,
+	}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func categoricalDS(t *testing.T, n int, seed uint64) *datagen.Dataset {
+	t.Helper()
+	ds, err := datagen.Random(datagen.RandomSpec{
+		N:          n,
+		CatDomains: []int{5, 12, 60},
+		Skew:       0.8,
+		DupRate:    0.05,
+	}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func mixedDS(t *testing.T, n int, seed uint64) *datagen.Dataset {
+	t.Helper()
+	ds, err := datagen.Random(datagen.RandomSpec{
+		N:          n,
+		CatDomains: []int{4, 9},
+		NumRanges:  [][2]int64{{0, 5000}},
+		Skew:       0.5,
+		DupRate:    0.05,
+	}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestWrongSpaceRejected(t *testing.T) {
+	num := numericDS(t, 100, 1)
+	cat := categoricalDS(t, 100, 2)
+	mixed := mixedDS(t, 100, 3)
+
+	cases := []struct {
+		alg Crawler
+		ds  *datagen.Dataset
+	}{
+		{RankShrink{}, cat},
+		{RankShrink{}, mixed},
+		{BinaryShrink{}, cat},
+		{BinaryShrink{}, mixed},
+		{DFS{}, num},
+		{DFS{}, mixed},
+		{SliceCover{}, num},
+		{SliceCover{}, mixed},
+		{LazySliceCover{}, num},
+		{LazySliceCover{}, mixed},
+	}
+	for _, c := range cases {
+		srv := newServer(t, c.ds, 32, 1)
+		if _, err := c.alg.Crawl(srv, nil); !errors.Is(err, ErrWrongSpace) {
+			t.Errorf("%s on %s: err = %v, want ErrWrongSpace", c.alg.Name(), c.ds.Schema, err)
+		}
+	}
+}
+
+func TestBinaryShrinkNeedsBounds(t *testing.T) {
+	sch := dataspace.MustSchema([]dataspace.Attribute{
+		{Name: "N", Kind: dataspace.Numeric}, // unbounded
+	})
+	srv, err := hiddendb.NewLocal(sch, dataspace.Bag{{5}}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (BinaryShrink{}).Crawl(srv, nil); !errors.Is(err, ErrWrongSpace) {
+		t.Errorf("unbounded attribute: err = %v, want ErrWrongSpace", err)
+	}
+}
+
+func TestRankShrinkHandlesUnboundedDomains(t *testing.T) {
+	// rank-shrink must not need declared bounds — that is its point.
+	sch := dataspace.MustSchema([]dataspace.Attribute{
+		{Name: "N", Kind: dataspace.Numeric},
+	})
+	bag := dataspace.Bag{
+		{-1 << 40}, {0}, {1 << 40}, {1 << 40}, {7}, {7}, {7}, {-3},
+	}
+	srv, err := hiddendb.NewLocal(sch, bag, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (RankShrink{}).Crawl(srv, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Tuples.EqualMultiset(bag) {
+		t.Fatal("incomplete crawl over unbounded domain")
+	}
+}
+
+func TestEmptyDatabase(t *testing.T) {
+	num := &datagen.Dataset{Name: "empty-num", Schema: numericDS(t, 1, 1).Schema}
+	cat := &datagen.Dataset{Name: "empty-cat", Schema: categoricalDS(t, 1, 1).Schema}
+	mixed := &datagen.Dataset{Name: "empty-mixed", Schema: mixedDS(t, 1, 1).Schema}
+	cases := []struct {
+		alg Crawler
+		ds  *datagen.Dataset
+	}{
+		{RankShrink{}, num}, {BinaryShrink{}, num},
+		{DFS{}, cat}, {SliceCover{}, cat}, {LazySliceCover{}, cat},
+		{Hybrid{}, mixed}, {Hybrid{}, num}, {Hybrid{}, cat},
+	}
+	for _, c := range cases {
+		srv := newServer(t, c.ds, 8, 1)
+		res, err := c.alg.Crawl(srv, nil)
+		if err != nil {
+			t.Fatalf("%s on empty db: %v", c.alg.Name(), err)
+		}
+		if len(res.Tuples) != 0 {
+			t.Fatalf("%s conjured %d tuples from an empty db", c.alg.Name(), len(res.Tuples))
+		}
+	}
+}
+
+func TestSingleTupleAndTinyK(t *testing.T) {
+	// k=1: the harshest return limit that is still solvable for distinct
+	// tuples.
+	ds, err := datagen.Random(datagen.RandomSpec{
+		N:         40,
+		NumRanges: [][2]int64{{0, 1000000}},
+	}, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Tuples.MaxMultiplicity() > 1 {
+		t.Skip("collision at n=40 over a million values")
+	}
+	res := crawl(t, RankShrink{}, ds, 1, nil)
+	if res.Queries < 40 {
+		t.Errorf("k=1 crawl of 40 tuples took only %d queries", res.Queries)
+	}
+}
+
+func TestOnProgressMonotone(t *testing.T) {
+	ds := mixedDS(t, 3000, 8)
+	srv := newServer(t, ds, 32, 42)
+	var last CurvePoint
+	calls := 0
+	res, err := (Hybrid{}).Crawl(srv, &Options{
+		OnProgress: func(p CurvePoint) {
+			calls++
+			if p.Queries < last.Queries || p.Tuples < last.Tuples {
+				t.Fatalf("progress went backwards: %+v after %+v", p, last)
+			}
+			if p.Queries != last.Queries+1 {
+				t.Fatalf("progress skipped queries: %+v after %+v", p, last)
+			}
+			last = p
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != res.Queries {
+		t.Errorf("OnProgress fired %d times for %d queries", calls, res.Queries)
+	}
+}
+
+func TestCollectCurve(t *testing.T) {
+	ds := mixedDS(t, 3000, 9)
+	srv := newServer(t, ds, 32, 42)
+	res, err := (Hybrid{}).Crawl(srv, &Options{CollectCurve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curve) != res.Queries {
+		t.Fatalf("curve has %d points for %d queries", len(res.Curve), res.Queries)
+	}
+	final := res.Curve[len(res.Curve)-1]
+	if final.Queries != res.Queries || final.Tuples != len(res.Tuples) {
+		t.Fatalf("final curve point %+v does not match totals (%d, %d)",
+			final, res.Queries, len(res.Tuples))
+	}
+	// Without the flag, no curve is collected.
+	srv2 := newServer(t, ds, 32, 42)
+	res2, err := (Hybrid{}).Crawl(srv2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Curve != nil {
+		t.Error("curve collected without CollectCurve")
+	}
+}
+
+func TestQuotaErrorPropagates(t *testing.T) {
+	ds := mixedDS(t, 3000, 10)
+	srv := newServer(t, ds, 16, 42)
+	quota := hiddendb.NewQuota(srv, 10)
+	_, err := (Hybrid{}).Crawl(quota, nil)
+	if !errors.Is(err, hiddendb.ErrQuotaExceeded) {
+		t.Fatalf("err = %v, want ErrQuotaExceeded", err)
+	}
+}
+
+func TestDependencyFilterSkipsAndStaysComplete(t *testing.T) {
+	ds := mixedDS(t, 2000, 11)
+	// Knowledge: valid (C1, C2) combos from the ground truth.
+	valid := map[[2]int64]bool{}
+	for _, tu := range ds.Tuples {
+		valid[[2]int64{tu[0], tu[1]}] = true
+	}
+	if len(valid) == 4*9 {
+		t.Skip("every combo occurs; filter would be a no-op")
+	}
+	filter := func(q dataspace.Query) bool {
+		a, b := q.Pred(0), q.Pred(1)
+		if a.Wild || b.Wild {
+			return true
+		}
+		return valid[[2]int64{a.Value, b.Value}]
+	}
+	plain := crawl(t, Hybrid{}, ds, 16, nil)
+	srv := newServer(t, ds, 16, 42)
+	res, err := (Hybrid{}).Crawl(srv, &Options{QueryFilter: filter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkComplete(t, ds, res)
+	if res.Queries > plain.Queries {
+		t.Errorf("dependency filter increased cost: %d > %d", res.Queries, plain.Queries)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		c, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if c.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, c.Name())
+		}
+	}
+	if _, err := ByName("quantum-crawl"); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestForSchema(t *testing.T) {
+	if ForSchema(numericDS(t, 1, 1).Schema).Name() != "rank-shrink" {
+		t.Error("numeric space should pick rank-shrink")
+	}
+	if ForSchema(categoricalDS(t, 1, 1).Schema).Name() != "lazy-slice-cover" {
+		t.Error("categorical space should pick lazy-slice-cover")
+	}
+	if ForSchema(mixedDS(t, 1, 1).Schema).Name() != "hybrid" {
+		t.Error("mixed space should pick hybrid")
+	}
+}
+
+func TestRankShrinkThresholdVariants(t *testing.T) {
+	ds := numericDS(t, 2000, 12)
+	for _, denom := range []int{2, 4, 8, 16} {
+		res := crawl(t, RankShrink{SplitDenom: denom}, ds, 32, nil)
+		if res.Queries == 0 {
+			t.Errorf("denom %d: no queries", denom)
+		}
+	}
+	// Name reflects non-default thresholds.
+	if (RankShrink{SplitDenom: 8}).Name() != "rank-shrink(k/8)" {
+		t.Error("threshold variant name wrong")
+	}
+	if (RankShrink{}).Name() != "rank-shrink" || (RankShrink{SplitDenom: 4}).Name() != "rank-shrink" {
+		t.Error("default name wrong")
+	}
+}
+
+// TestPropertyAllAlgorithmsComplete is the repository's central property
+// test: for arbitrary small instances, every applicable algorithm must
+// retrieve exactly the generated bag.
+func TestPropertyAllAlgorithmsComplete(t *testing.T) {
+	f := func(seed uint64, nRaw uint16, u1Raw, u2Raw, kRaw uint8) bool {
+		n := int(nRaw%800) + 1
+		u1 := int(u1Raw%9) + 2
+		u2 := int(u2Raw%30) + 2
+		k := int(kRaw%40) + 2
+		ds, err := datagen.Random(datagen.RandomSpec{
+			N:          n,
+			CatDomains: []int{u1, u2},
+			NumRanges:  [][2]int64{{0, 300}},
+			Skew:       1.0,
+			DupRate:    0.1,
+		}, seed)
+		if err != nil {
+			return false
+		}
+		if ds.Tuples.MaxMultiplicity() > k {
+			return true // genuinely unsolvable; covered elsewhere
+		}
+		srv, err := hiddendb.NewLocal(ds.Schema, ds.Tuples, k, seed^0xABCD)
+		if err != nil {
+			return false
+		}
+		for _, alg := range []Crawler{Hybrid{}, Hybrid{EagerSlices: true}} {
+			res, err := alg.Crawl(srv, nil)
+			if err != nil {
+				return false
+			}
+			if !res.Tuples.EqualMultiset(ds.Tuples) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyNumericComplete drives rank-shrink and binary-shrink over
+// random purely numeric instances.
+func TestPropertyNumericComplete(t *testing.T) {
+	f := func(seed uint64, nRaw uint16, spanRaw uint16, kRaw uint8) bool {
+		n := int(nRaw%600) + 1
+		span := int64(spanRaw%2000) + 1
+		k := int(kRaw%30) + 2
+		ds, err := datagen.Random(datagen.RandomSpec{
+			N:         n,
+			NumRanges: [][2]int64{{0, span}, {-span, 0}},
+			DupRate:   0.15,
+		}, seed)
+		if err != nil {
+			return false
+		}
+		if ds.Tuples.MaxMultiplicity() > k {
+			return true
+		}
+		srv, err := hiddendb.NewLocal(ds.Schema, ds.Tuples, k, seed^0x1234)
+		if err != nil {
+			return false
+		}
+		for _, alg := range []Crawler{RankShrink{}, BinaryShrink{}} {
+			res, err := alg.Crawl(srv, nil)
+			if err != nil {
+				return false
+			}
+			if !res.Tuples.EqualMultiset(ds.Tuples) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyCategoricalComplete drives the categorical trio over random
+// instances.
+func TestPropertyCategoricalComplete(t *testing.T) {
+	f := func(seed uint64, nRaw uint16, uRaw uint8, kRaw uint8) bool {
+		n := int(nRaw%500) + 1
+		u := int(uRaw%25) + 2
+		k := int(kRaw%30) + 2
+		ds, err := datagen.Random(datagen.RandomSpec{
+			N:          n,
+			CatDomains: []int{3, u, u * 2},
+			Skew:       0.8,
+			DupRate:    0.1,
+		}, seed)
+		if err != nil {
+			return false
+		}
+		if ds.Tuples.MaxMultiplicity() > k {
+			return true
+		}
+		srv, err := hiddendb.NewLocal(ds.Schema, ds.Tuples, k, seed^0x777)
+		if err != nil {
+			return false
+		}
+		for _, alg := range []Crawler{DFS{}, SliceCover{}, LazySliceCover{}} {
+			res, err := alg.Crawl(srv, nil)
+			if err != nil {
+				return false
+			}
+			if !res.Tuples.EqualMultiset(ds.Tuples) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

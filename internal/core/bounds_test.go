@@ -1,0 +1,242 @@
+package core
+
+import (
+	"testing"
+
+	"hidb/internal/datagen"
+	"hidb/internal/dataspace"
+)
+
+// crawl is a test helper that runs the crawler and requires success plus a
+// complete bag.
+func crawl(t *testing.T, c Crawler, ds *datagen.Dataset, k int, opts *Options) *Result {
+	t.Helper()
+	srv := newServer(t, ds, k, 42)
+	res, err := c.Crawl(srv, opts)
+	if err != nil {
+		t.Fatalf("%s on %s (k=%d): %v", c.Name(), ds.Name, k, err)
+	}
+	checkComplete(t, ds, res)
+	return res
+}
+
+// TestRankShrinkCostBound asserts Lemma 2: rank-shrink performs at most
+// 20·d·n/k queries (the constant from the paper's inductive proof), plus a
+// small additive slack for the root query on tiny inputs.
+func TestRankShrinkCostBound(t *testing.T) {
+	for _, tc := range []struct {
+		n, k int
+		dims [][2]int64
+	}{
+		{2000, 16, [][2]int64{{0, 1 << 20}}},
+		{2000, 16, [][2]int64{{0, 1000}, {0, 1000}}},
+		{5000, 64, [][2]int64{{0, 100}, {-50, 50}, {0, 10}}},
+		{3000, 8, [][2]int64{{0, 1 << 30}, {0, 1 << 30}, {0, 5}, {0, 5}}},
+	} {
+		ds, err := datagen.Random(datagen.RandomSpec{
+			N: tc.n, NumRanges: tc.dims, DupRate: 0.05,
+		}, uint64(tc.n)+uint64(tc.k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds.Tuples.MaxMultiplicity() > tc.k {
+			t.Fatalf("test instance unsolvable at k=%d", tc.k)
+		}
+		res := crawl(t, RankShrink{}, ds, tc.k, nil)
+		d := len(tc.dims)
+		bound := 20*d*tc.n/tc.k + 1
+		if res.Queries > bound {
+			t.Errorf("rank-shrink d=%d n=%d k=%d: %d queries > Lemma-2 bound %d",
+				d, tc.n, tc.k, res.Queries, bound)
+		}
+	}
+}
+
+// TestTheorem3LowerBound asserts that on the hard numeric instance every
+// complete algorithm — including ours — performs at least d·m queries, and
+// that rank-shrink stays within its upper bound: the sandwich that proves
+// Theorems 1 and 3 bite.
+func TestTheorem3LowerBound(t *testing.T) {
+	for _, tc := range []struct{ m, d, k int }{
+		{20, 2, 8},
+		{50, 4, 16},
+		{30, 8, 8},
+	} {
+		ds, err := datagen.HardNumeric(tc.m, tc.d, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lower := datagen.HardNumericLowerBound(tc.m, tc.d)
+		for _, alg := range []Crawler{RankShrink{}, BinaryShrink{}} {
+			res := crawl(t, alg, ds, tc.k, nil)
+			if res.Queries < lower {
+				t.Errorf("%s on %s: %d queries < lower bound %d — the instance or the counting is broken",
+					alg.Name(), ds.Name, res.Queries, lower)
+			}
+		}
+		res := crawl(t, RankShrink{}, ds, tc.k, nil)
+		n := ds.N()
+		upper := 20*tc.d*n/tc.k + 1
+		if res.Queries > upper {
+			t.Errorf("rank-shrink on %s: %d queries > upper bound %d", ds.Name, res.Queries, upper)
+		}
+	}
+}
+
+// lemma4Bound evaluates Σ Ui + (n/k)·Σ min{Ui, n/k} for a schema.
+func lemma4Bound(s *dataspace.Schema, n, k int) int {
+	sumU := 0
+	sumMin := 0
+	nk := n / k
+	for i := 0; i < s.Dims(); i++ {
+		u := s.Attr(i).DomainSize
+		sumU += u
+		m := u
+		if nk < m {
+			m = nk
+		}
+		sumMin += m
+	}
+	return sumU + nk*sumMin
+}
+
+// TestSliceCoverLemma4Bound asserts the categorical upper bound for both
+// slice-cover variants on random and adversarial instances.
+func TestSliceCoverLemma4Bound(t *testing.T) {
+	specs := []datagen.RandomSpec{
+		{N: 3000, CatDomains: []int{5, 9, 30}, Skew: 1.0},
+		{N: 2000, CatDomains: []int{50, 50}, Skew: 0.5, DupRate: 0.1},
+		{N: 1000, CatDomains: []int{4, 4, 4, 4}, Skew: 0},
+	}
+	k := 16
+	var datasets []*datagen.Dataset
+	for i, spec := range specs {
+		ds, err := datagen.Random(spec, uint64(100+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		datasets = append(datasets, ds)
+	}
+	hard, err := datagen.HardCategorical(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasets = append(datasets, hard)
+
+	for _, ds := range datasets {
+		kk := k
+		if ds.Tuples.MaxMultiplicity() > kk {
+			kk = ds.Tuples.MaxMultiplicity()
+		}
+		// The hard instance is built for k=4; use its own k.
+		if ds == hard {
+			kk = 4
+		}
+		bound := lemma4Bound(ds.Schema, ds.N(), kk) + 1 // +1 for the lazy root query
+		for _, alg := range []Crawler{SliceCover{}, LazySliceCover{}} {
+			res := crawl(t, alg, ds, kk, nil)
+			if res.Queries > bound {
+				t.Errorf("%s on %s (k=%d): %d queries > Lemma-4 bound %d",
+					alg.Name(), ds.Name, kk, res.Queries, bound)
+			}
+		}
+	}
+}
+
+// TestLazyNeverWorseThanEager asserts the paper's claim that
+// lazy-slice-cover "does not require any more query than slice-cover".
+func TestLazyNeverWorseThanEager(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		ds, err := datagen.Random(datagen.RandomSpec{
+			N:          1500,
+			CatDomains: []int{6, 11, 40, 150},
+			Skew:       0.9,
+			DupRate:    0.05,
+		}, 200+seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{8, 32, 128} {
+			if ds.Tuples.MaxMultiplicity() > k {
+				continue
+			}
+			eager := crawl(t, SliceCover{}, ds, k, nil)
+			lazy := crawl(t, LazySliceCover{}, ds, k, nil)
+			// +1 tolerance: the lazy variant issues the root query, which
+			// the eager variant can skip using its prefetched table.
+			if lazy.Queries > eager.Queries+1 {
+				t.Errorf("seed %d k=%d: lazy %d > eager %d queries",
+					seed, k, lazy.Queries, eager.Queries)
+			}
+		}
+	}
+}
+
+// TestCategorical1DCost asserts the d=1 special case of Lemma 4: the cost
+// is exactly U1 (plus the root query for the lazy variant).
+func TestCategorical1DCost(t *testing.T) {
+	u := 37
+	ds, err := datagen.Random(datagen.RandomSpec{
+		N:          900,
+		CatDomains: []int{u},
+		Skew:       0.7,
+	}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 128
+	if ds.Tuples.MaxMultiplicity() > k {
+		t.Fatal("unsolvable test instance")
+	}
+	res := crawl(t, SliceCover{}, ds, k, nil)
+	if res.Queries != u {
+		t.Errorf("slice-cover d=1: %d queries, want exactly U1 = %d", res.Queries, u)
+	}
+	res = crawl(t, LazySliceCover{}, ds, k, nil)
+	if res.Queries != u {
+		t.Errorf("lazy-slice-cover d=1: %d queries, want U1 = %d", res.Queries, u)
+	}
+}
+
+// TestHybridCat1Bound asserts Theorem 1's fourth bullet: for cat = 1 the
+// hybrid cost is at most U1 + 20·d·n/k.
+func TestHybridCat1Bound(t *testing.T) {
+	u := 25
+	ds, err := datagen.Random(datagen.RandomSpec{
+		N:          4000,
+		CatDomains: []int{u},
+		NumRanges:  [][2]int64{{0, 100000}, {0, 500}},
+		Skew:       1.2,
+		DupRate:    0.02,
+	}, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 32
+	if ds.Tuples.MaxMultiplicity() > k {
+		t.Fatal("unsolvable test instance")
+	}
+	res := crawl(t, Hybrid{}, ds, k, nil)
+	bound := u + 20*3*ds.N()/k
+	if res.Queries > bound {
+		t.Errorf("hybrid cat=1: %d queries > bound %d", res.Queries, bound)
+	}
+}
+
+// TestIdealCostFloor sanity-checks the trivial lower bound: no crawl can
+// finish in fewer than n/k queries.
+func TestIdealCostFloor(t *testing.T) {
+	ds, err := datagen.Random(datagen.RandomSpec{
+		N:          5000,
+		CatDomains: []int{3},
+		NumRanges:  [][2]int64{{0, 1000000}},
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 50
+	res := crawl(t, Hybrid{}, ds, k, nil)
+	if res.Queries < ds.N()/k {
+		t.Errorf("hybrid finished in %d queries < n/k = %d — impossible", res.Queries, ds.N()/k)
+	}
+}

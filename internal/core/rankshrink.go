@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hidb/internal/dataspace"
+	"hidb/internal/hiddendb"
+)
+
+// RankShrink is the paper's optimal algorithm for numeric data spaces
+// (§2.2–2.3). Instead of splitting an overflowing rectangle at its
+// geometric midpoint, it splits at the value of the (k/2)-th returned tuple,
+// guaranteeing at least k/4 returned tuples on each side (a 2-way split) —
+// or, when that value has multiplicity above k/4 in the response, performs a
+// 3-way split whose middle band exhausts the split attribute and is solved
+// as a (d−1)-dimensional sub-problem.
+//
+// Cost: O(d·n/k) queries (Lemma 2), independent of the attribute domain
+// sizes, and asymptotically optimal (Theorem 3).
+type RankShrink struct {
+	// SplitDenom is the denominator of the multiplicity threshold that
+	// chooses between a 2-way and a 3-way split: a 3-way split fires when
+	// the pivot value's multiplicity in the response exceeds k/SplitDenom.
+	// Zero means the paper's constant 4 (which the cost proof of Lemma 1
+	// relies on); other values exist for the ablation study.
+	SplitDenom int
+}
+
+// Name implements Crawler.
+func (r RankShrink) Name() string {
+	if r.SplitDenom != 0 && r.SplitDenom != 4 {
+		return fmt.Sprintf("rank-shrink(k/%d)", r.SplitDenom)
+	}
+	return "rank-shrink"
+}
+
+// Crawl implements Crawler. The server's schema must be purely numeric.
+func (r RankShrink) Crawl(srv hiddendb.Server, opts *Options) (*Result, error) {
+	if !srv.Schema().IsNumeric() {
+		return nil, ErrWrongSpace
+	}
+	s := newSession(srv, opts, false)
+	denom := r.SplitDenom
+	if denom <= 0 {
+		denom = 4
+	}
+	s.splitDenom = denom
+	if err := rankShrink(s, dataspace.UniverseQuery(s.schema)); err != nil {
+		return nil, err
+	}
+	return s.finish(), nil
+}
+
+// rankShrink extracts every tuple covered by q. All categorical attributes
+// of q (if any — the hybrid algorithm pins them) must be exhausted; the
+// remaining free dimensions are numeric.
+func rankShrink(s *session, q dataspace.Query) error {
+	res, err := s.issue(q)
+	if err != nil {
+		return err
+	}
+	if res.Resolved() {
+		s.emit(res.Tuples)
+		return nil
+	}
+
+	// The paper splits on A1 until it is exhausted, then recurses on the
+	// (d−1)-dimensional suffix; equivalently, always split the first
+	// non-exhausted numeric attribute.
+	dim := firstOpenNumeric(q)
+	if dim < 0 {
+		// q is a point (up to exhausted attributes) yet overflowed: more
+		// than k duplicates live there.
+		return ErrUnsolvable
+	}
+
+	x, c := splitPivot(res.Tuples, dim, s.k)
+	lo, _ := q.Extent(dim)
+
+	if c <= s.k/s.splitThreshold() && x > lo {
+		// Case 1: 2-way split at x. At least k/2−c ≥ k/4 returned tuples
+		// are strictly below x, so x > lo always holds when k ≥ 4; the
+		// guard only matters for degenerate k.
+		left, right, err := q.Split2(dim, x)
+		if err != nil {
+			return err
+		}
+		if err := rankShrink(s, left); err != nil {
+			return err
+		}
+		return rankShrink(s, right)
+	}
+
+	// Case 2: 3-way split at x. The middle band exhausts dim and becomes a
+	// (d−1)-dimensional problem; at d = 1 it is a point query, resolved by
+	// the solvability assumption.
+	left, mid, right, hasLeft, hasRight, err := q.Split3(dim, x)
+	if err != nil {
+		return err
+	}
+	if hasLeft {
+		if err := rankShrink(s, left); err != nil {
+			return err
+		}
+	}
+	if err := rankShrink(s, mid); err != nil {
+		return err
+	}
+	if hasRight {
+		return rankShrink(s, right)
+	}
+	return nil
+}
+
+// splitPivot sorts the response on attribute dim, picks the value x of the
+// (k/2)-th tuple (1-based; the paper breaks ties arbitrarily) and returns it
+// together with its multiplicity c in the response.
+func splitPivot(resp dataspace.Bag, dim, k int) (x int64, c int) {
+	vals := make([]int64, len(resp))
+	for i, t := range resp {
+		vals[i] = t[dim]
+	}
+	sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+	idx := k/2 - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(vals) {
+		idx = len(vals) - 1
+	}
+	x = vals[idx]
+	for _, v := range vals {
+		if v == x {
+			c++
+		}
+	}
+	return x, c
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"hidb/internal/datagen"
+	"hidb/internal/hiddendb"
+)
+
+// newServer builds a local server over the dataset for tests.
+func newServer(t testing.TB, ds *datagen.Dataset, k int, seed uint64) *hiddendb.Local {
+	t.Helper()
+	srv, err := hiddendb.NewLocal(ds.Schema, ds.Tuples, k, seed)
+	if err != nil {
+		t.Fatalf("NewLocal: %v", err)
+	}
+	return srv
+}
+
+// checkComplete asserts the crawl retrieved exactly the dataset's bag.
+func checkComplete(t *testing.T, ds *datagen.Dataset, res *Result) {
+	t.Helper()
+	if !res.Tuples.EqualMultiset(ds.Tuples) {
+		t.Fatalf("crawl of %s incomplete: got %d tuples, want %d (multiset mismatch)",
+			ds.Name, len(res.Tuples), len(ds.Tuples))
+	}
+}
+
+func TestSmokeAllAlgorithms(t *testing.T) {
+	numeric, err := datagen.Random(datagen.RandomSpec{
+		N:         2000,
+		NumRanges: [][2]int64{{0, 1000}, {-500, 500}, {0, 50}},
+		DupRate:   0.1,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	categorical, err := datagen.Random(datagen.RandomSpec{
+		N:          2000,
+		CatDomains: []int{5, 9, 30, 100},
+		Skew:       0.8,
+		DupRate:    0.05,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := datagen.Random(datagen.RandomSpec{
+		N:          2000,
+		CatDomains: []int{4, 12},
+		NumRanges:  [][2]int64{{0, 2000}, {1, 40}},
+		Skew:       0.6,
+		DupRate:    0.05,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		crawler Crawler
+		ds      *datagen.Dataset
+	}{
+		{BinaryShrink{}, numeric},
+		{RankShrink{}, numeric},
+		{DFS{}, categorical},
+		{SliceCover{}, categorical},
+		{LazySliceCover{}, categorical},
+		{Hybrid{}, mixed},
+		{Hybrid{}, numeric},
+		{Hybrid{}, categorical},
+		{Hybrid{EagerSlices: true}, mixed},
+	}
+	for _, k := range []int{4, 16, 64, 256} {
+		for _, c := range cases {
+			if c.ds.Tuples.MaxMultiplicity() > k {
+				continue // genuinely unsolvable at this k (§1.1)
+			}
+			srv := newServer(t, c.ds, k, 42)
+			res, err := c.crawler.Crawl(srv, nil)
+			if err != nil {
+				t.Fatalf("%s on %s (k=%d): %v", c.crawler.Name(), c.ds.Name, k, err)
+			}
+			checkComplete(t, c.ds, res)
+			if res.Queries == 0 && len(c.ds.Tuples) > 0 {
+				t.Fatalf("%s on %s (k=%d): zero queries reported", c.crawler.Name(), c.ds.Name, k)
+			}
+		}
+	}
+}
+
+func TestUnsolvableDetected(t *testing.T) {
+	// 10 identical tuples and k=4: every algorithm must report
+	// ErrUnsolvable rather than loop or return a wrong bag.
+	ds, err := datagen.Random(datagen.RandomSpec{
+		N:         1,
+		NumRanges: [][2]int64{{0, 100}},
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		ds.Tuples = append(ds.Tuples, ds.Tuples[0])
+	}
+	srv := newServer(t, ds, 4, 1)
+	for _, c := range []Crawler{BinaryShrink{}, RankShrink{}, Hybrid{}} {
+		_, err := c.Crawl(srv, nil)
+		if !errors.Is(err, ErrUnsolvable) {
+			t.Errorf("%s: got err %v, want ErrUnsolvable", c.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package datagen
+
+import (
+	"hidb/internal/dataspace"
+	"hidb/internal/simrand"
+)
+
+// AdultN is the cardinality of the paper's Adult workload (UCI census
+// extract with incomplete rows removed): 45,222 tuples.
+const AdultN = 45222
+
+// adultSchema is the Figure-9 Adult schema: eight categorical attributes
+// followed by six numeric ones, in the paper's left-to-right order.
+func adultSchema() *dataspace.Schema {
+	return dataspace.MustSchema([]dataspace.Attribute{
+		{Name: "Sex", Kind: dataspace.Categorical, DomainSize: 2},
+		{Name: "Race", Kind: dataspace.Categorical, DomainSize: 5},
+		{Name: "Rel", Kind: dataspace.Categorical, DomainSize: 6},
+		{Name: "Edu", Kind: dataspace.Categorical, DomainSize: 6},
+		{Name: "Marital", Kind: dataspace.Categorical, DomainSize: 7},
+		{Name: "Wrk-class", Kind: dataspace.Categorical, DomainSize: 8},
+		{Name: "Occ", Kind: dataspace.Categorical, DomainSize: 14},
+		{Name: "Country", Kind: dataspace.Categorical, DomainSize: 41},
+		{Name: "Edu-num", Kind: dataspace.Numeric, Min: 1, Max: 16},
+		{Name: "Age", Kind: dataspace.Numeric, Min: 17, Max: 90},
+		{Name: "Wrk-hr", Kind: dataspace.Numeric, Min: 1, Max: 99},
+		{Name: "Cap-loss", Kind: dataspace.Numeric, Min: 0, Max: 4356},
+		{Name: "Cap-gain", Kind: dataspace.Numeric, Min: 0, Max: 99999},
+		{Name: "Fnalwgt", Kind: dataspace.Numeric, Min: 12285, Max: 1490400},
+	})
+}
+
+// AdultLike synthesizes the Adult census stand-in: Figure-9 schema, 45,222
+// tuples, marginals shaped like the real extract. The numeric attributes
+// reproduce the two properties the numeric algorithms are sensitive to:
+//
+//   - heavy point masses (capital-gain/loss are overwhelmingly 0, work
+//     hours spike at 40), which trigger rank-shrink's 3-way splits; and
+//   - a distinct-count ordering of Fnalwgt > Cap-gain > Cap-loss > Wrk-hr >
+//     Age > Edu-num, which Figure 10b's dimensionality sweep relies on.
+func AdultLike(seed uint64) *Dataset {
+	return adultLikeN("adult-like", AdultN, seed)
+}
+
+// AdultLikeN is AdultLike with an explicit cardinality, for scaled-down test
+// runs.
+func AdultLikeN(n int, seed uint64) *Dataset {
+	return adultLikeN("adult-like", n, seed)
+}
+
+func adultLikeN(name string, n int, seed uint64) *Dataset {
+	rng := simrand.New(seed)
+	sch := adultSchema()
+
+	race := simrand.NewZipf(rng, 5, 1.8) // one dominant race value
+	rel := simrand.NewZipf(rng, 6, 0.9)
+	edu := simrand.NewZipf(rng, 6, 0.7)
+	marital := simrand.NewZipf(rng, 7, 0.9)
+	wrkClass := simrand.NewZipf(rng, 8, 1.6) // most rows are "Private"
+	occ := simrand.NewZipf(rng, 14, 0.4)
+	country := simrand.NewZipf(rng, 41, 2.6) // ~90% from one country
+
+	// Capital gain/loss take one of a small set of reportable amounts, as
+	// in the real data (~120 and ~100 distinct values respectively).
+	gainVals := distinctAmounts(rng, 140, 114, 99999)
+	lossVals := distinctAmounts(rng, 110, 155, 4356)
+
+	tuples := make(dataspace.Bag, 0, n)
+	for i := 0; i < n; i++ {
+		t := make(dataspace.Tuple, sch.Dims())
+		// Sex: two values, roughly 2:1.
+		if rng.Bool(0.67) {
+			t[0] = 1
+		} else {
+			t[0] = 2
+		}
+		t[1] = race.Draw()
+		t[2] = rel.Draw()
+		t[3] = edu.Draw()
+		t[4] = marital.Draw()
+		t[5] = wrkClass.Draw()
+		t[6] = occ.Draw()
+		t[7] = country.Draw()
+
+		// Edu-num 1..16, correlated with the Edu category and peaked in
+		// the middle (high-school / some-college levels).
+		eduNum := 6 + int64(float64(t[3])) + rng.Int64n(4)
+		t[8] = clamp(eduNum, 1, 16)
+
+		// Age 17..90, right-skewed around the late 30s.
+		age := int64(17 + absInt(rng.NormFloat64())*14)
+		t[9] = clamp(age, 17, 90)
+
+		// Work hours 1..99 with a large spike at 40.
+		switch {
+		case rng.Bool(0.46):
+			t[10] = 40
+		case rng.Bool(0.5):
+			t[10] = clamp(40+rng.Int64n(25)-12, 1, 99)
+		default:
+			t[10] = 1 + rng.Int64n(99)
+		}
+
+		// Capital loss: ~95% exactly 0, else one of the preset amounts.
+		if rng.Bool(0.953) {
+			t[11] = 0
+		} else {
+			t[11] = lossVals[rng.Intn(len(lossVals))]
+		}
+
+		// Capital gain: ~92% exactly 0, else one of the preset amounts.
+		if rng.Bool(0.916) {
+			t[12] = 0
+		} else {
+			t[12] = gainVals[rng.Intn(len(gainVals))]
+		}
+
+		// Final sampling weight: wide, nearly all-distinct.
+		t[13] = 12285 + rng.Int64n(1490400-12285+1)
+
+		tuples = append(tuples, t)
+	}
+	return &Dataset{Name: name, Schema: sch, Tuples: tuples}
+}
+
+// AdultNumeric projects the Adult stand-in onto its six numeric attributes,
+// matching the paper's Adult-numeric workload ("the same cardinality and
+// dimensionality as Adult" restricted to numeric columns).
+func AdultNumeric(seed uint64) *Dataset {
+	return AdultNumericN(AdultN, seed)
+}
+
+// AdultNumericN is AdultNumeric with an explicit cardinality.
+func AdultNumericN(n int, seed uint64) *Dataset {
+	full := adultLikeN("adult-like", n, seed)
+	cols := []int{8, 9, 10, 11, 12, 13}
+	ds, err := full.Project(cols)
+	if err != nil {
+		panic(err) // static projection over a static schema cannot fail
+	}
+	ds.Name = "adult-numeric"
+	return ds
+}
+
+// distinctAmounts returns count distinct values spread over [min, max],
+// spaced quadratically so small amounts are denser, like real capital
+// gain/loss codes.
+func distinctAmounts(rng *simrand.RNG, count int, min, max int64) []int64 {
+	vals := make([]int64, count)
+	span := float64(max - min)
+	for i := range vals {
+		f := float64(i) / float64(count-1)
+		vals[i] = min + int64(span*f*f)
+	}
+	// Nudge interior points so the grid is not perfectly regular.
+	for i := 1; i < count-1; i++ {
+		vals[i] += rng.Int64n(7) - 3
+	}
+	return vals
+}
+
+func clamp(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func absInt(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}

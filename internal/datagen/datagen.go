@@ -1,0 +1,140 @@
+// Package datagen generates the hidden databases the experiments crawl.
+//
+// The paper evaluates on three real datasets (Figure 9): a Yahoo! Autos
+// crawl, the NSF award search database, and the UCI Adult census extract.
+// None of those can ship with this repository, so datagen builds synthetic
+// stand-ins that match what the crawling algorithms actually observe: the
+// tuple count, the exact Figure-9 schema and domain-size vector, the value
+// skew (Zipf marginals for categorical attributes, realistic spreads and
+// heavy point masses for numeric ones), and the duplicate structure (the
+// Yahoo dataset contains a point with more than 64 identical tuples, which
+// is why the paper reports no Yahoo value at k = 64).
+//
+// It also constructs the adversarial lower-bound instances of Figures 7 and
+// 8 used to verify Theorems 3 and 4.
+package datagen
+
+import (
+	"fmt"
+	"sort"
+
+	"hidb/internal/dataspace"
+	"hidb/internal/simrand"
+)
+
+// ByName returns one of the named standard workloads: "yahoo", "nsf",
+// "adult" or "adult-numeric". n overrides the cardinality; 0 means the
+// paper's size. The CLIs and examples resolve their -dataset flags here.
+func ByName(name string, n int, seed uint64) (*Dataset, error) {
+	switch name {
+	case "yahoo":
+		if n == 0 {
+			n = YahooN
+		}
+		return YahooLikeN(n, seed), nil
+	case "nsf":
+		if n == 0 {
+			n = NSFN
+		}
+		return NSFLikeN(n, seed), nil
+	case "adult":
+		if n == 0 {
+			n = AdultN
+		}
+		return AdultLikeN(n, seed), nil
+	case "adult-numeric":
+		if n == 0 {
+			n = AdultN
+		}
+		return AdultNumericN(n, seed), nil
+	default:
+		return nil, fmt.Errorf("datagen: unknown dataset %q (want yahoo, nsf, adult or adult-numeric)", name)
+	}
+}
+
+// Dataset bundles a schema with a bag of tuples over it.
+type Dataset struct {
+	// Name identifies the dataset in harness output, e.g. "yahoo-like".
+	Name string
+	// Schema is the data space, attribute order matching Figure 9.
+	Schema *dataspace.Schema
+	// Tuples is the hidden database's content (a bag; duplicates allowed).
+	Tuples dataspace.Bag
+}
+
+// N returns the number of tuples.
+func (d *Dataset) N() int { return len(d.Tuples) }
+
+// Validate checks every tuple against the schema.
+func (d *Dataset) Validate() error {
+	for i, t := range d.Tuples {
+		if err := t.Validate(d.Schema); err != nil {
+			return fmt.Errorf("datagen: dataset %q tuple %d: %w", d.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// Sample returns a Bernoulli sample of the dataset: each tuple is kept
+// independently with probability p, mirroring how the paper built its 20%…
+// 100% workloads for Figures 10c and 11c.
+func (d *Dataset) Sample(p float64, seed uint64) *Dataset {
+	if p >= 1 {
+		return &Dataset{Name: d.Name, Schema: d.Schema, Tuples: d.Tuples}
+	}
+	rng := simrand.New(seed)
+	out := make(dataspace.Bag, 0, int(float64(len(d.Tuples))*p)+16)
+	for _, t := range d.Tuples {
+		if rng.Bool(p) {
+			out = append(out, t)
+		}
+	}
+	return &Dataset{
+		Name:   fmt.Sprintf("%s-%d%%", d.Name, int(p*100+0.5)),
+		Schema: d.Schema,
+		Tuples: out,
+	}
+}
+
+// Project returns the dataset restricted to the given attribute positions
+// (in the given order), as the paper does when varying dimensionality in
+// Figures 10b and 11b.
+func (d *Dataset) Project(cols []int) (*Dataset, error) {
+	sch, err := d.Schema.Project(cols)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{
+		Name:   fmt.Sprintf("%s-d%d", d.Name, len(cols)),
+		Schema: sch,
+		Tuples: d.Tuples.Project(cols),
+	}, nil
+}
+
+// TopDistinct returns the positions of the dims attributes of the given
+// kind with the most distinct values in the bag, keeping the schema's
+// original relative order. This is how the paper derives its
+// lower-dimensional workloads ("taking the d attributes … that have the
+// highest numbers of distinct values").
+func (d *Dataset) TopDistinct(dims int, kind dataspace.Kind) []int {
+	counts := d.Tuples.DistinctValues(d.Schema.Dims())
+	type attrCount struct{ pos, count int }
+	var eligible []attrCount
+	for i := 0; i < d.Schema.Dims(); i++ {
+		if d.Schema.Attr(i).Kind == kind {
+			eligible = append(eligible, attrCount{pos: i, count: counts[i]})
+		}
+	}
+	sort.SliceStable(eligible, func(a, b int) bool {
+		return eligible[a].count > eligible[b].count
+	})
+	if dims > len(eligible) {
+		dims = len(eligible)
+	}
+	cols := make([]int, 0, dims)
+	for _, e := range eligible[:dims] {
+		cols = append(cols, e.pos)
+	}
+	sort.Ints(cols)
+	return cols
+}

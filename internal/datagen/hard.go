@@ -1,0 +1,103 @@
+package datagen
+
+import (
+	"fmt"
+
+	"hidb/internal/dataspace"
+)
+
+// HardNumeric constructs the adversarial numeric instance of Theorem 3
+// (Figure 7): m groups of k+d tuples in the space [1, m+1]^d. Group i holds
+// k "diagonal" tuples at the point (i, …, i) and, for each attribute Aj, one
+// "non-diagonal" tuple equal to the diagonal point except for value i+1 on
+// Aj. Any correct algorithm must cover each of the d·m non-diagonal points
+// with a distinct resolved query, so its cost is at least d·m queries.
+func HardNumeric(m, d, k int) (*Dataset, error) {
+	if m < 1 || d < 1 || k < 1 {
+		return nil, fmt.Errorf("datagen: HardNumeric needs m, d, k >= 1, got m=%d d=%d k=%d", m, d, k)
+	}
+	if d > k {
+		return nil, fmt.Errorf("datagen: Theorem 3 requires d <= k, got d=%d k=%d", d, k)
+	}
+	attrs := make([]dataspace.Attribute, d)
+	for i := range attrs {
+		attrs[i] = dataspace.Attribute{
+			Name: fmt.Sprintf("A%d", i+1),
+			Kind: dataspace.Numeric,
+			Min:  1,
+			Max:  int64(m + 1),
+		}
+	}
+	sch := dataspace.MustSchema(attrs)
+
+	tuples := make(dataspace.Bag, 0, m*(k+d))
+	for g := 1; g <= m; g++ {
+		diag := make(dataspace.Tuple, d)
+		for j := range diag {
+			diag[j] = int64(g)
+		}
+		for c := 0; c < k; c++ {
+			tuples = append(tuples, diag)
+		}
+		for j := 0; j < d; j++ {
+			t := diag.Clone()
+			t[j] = int64(g + 1)
+			tuples = append(tuples, t)
+		}
+	}
+	return &Dataset{
+		Name:   fmt.Sprintf("hard-numeric-m%d-d%d-k%d", m, d, k),
+		Schema: sch,
+		Tuples: tuples,
+	}, nil
+}
+
+// HardNumericLowerBound returns the Theorem-3 query lower bound d·m for the
+// instance built by HardNumeric.
+func HardNumericLowerBound(m, d int) int { return d * m }
+
+// HardCategorical constructs the adversarial categorical instance of
+// Theorem 4 (Figure 8): U groups of d tuples in a d-dimensional space where
+// every attribute has domain size U. In group i (0-based), the j-th tuple
+// takes value (i+1) mod U on attribute Aj and value i on every other
+// attribute. The theorem requires d = 2k, U >= 3, k >= 3 and dU² <= 2^(d/4)
+// for the Ω(dU²) bound to bind; the constructor enforces only the structural
+// constraints (d = 2k and U >= 3) so small instances remain testable.
+//
+// Domain values are shifted from the paper's 0..U-1 to this package's
+// 1..U convention.
+func HardCategorical(uSize, k int) (*Dataset, error) {
+	d := 2 * k
+	if uSize < 3 {
+		return nil, fmt.Errorf("datagen: HardCategorical needs U >= 3, got %d", uSize)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("datagen: HardCategorical needs k >= 1, got %d", k)
+	}
+	attrs := make([]dataspace.Attribute, d)
+	for i := range attrs {
+		attrs[i] = dataspace.Attribute{
+			Name:       fmt.Sprintf("A%d", i+1),
+			Kind:       dataspace.Categorical,
+			DomainSize: uSize,
+		}
+	}
+	sch := dataspace.MustSchema(attrs)
+
+	tuples := make(dataspace.Bag, 0, d*uSize)
+	for g := 0; g < uSize; g++ {
+		for j := 0; j < d; j++ {
+			t := make(dataspace.Tuple, d)
+			for a := range t {
+				t[a] = int64(g + 1) // value i, shifted to 1-based
+			}
+			t[j] = int64((g+1)%uSize + 1) // value (i+1) mod U, shifted
+			tuples = append(tuples, t)
+		}
+	}
+	return &Dataset{
+		Name:   fmt.Sprintf("hard-categorical-U%d-k%d", uSize, k),
+		Schema: sch,
+		Tuples: tuples,
+	}, nil
+}

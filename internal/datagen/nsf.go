@@ -1,0 +1,104 @@
+package datagen
+
+import (
+	"hidb/internal/dataspace"
+	"hidb/internal/simrand"
+)
+
+// NSFN is the cardinality of the paper's NSF award workload: 47,816 tuples.
+const NSFN = 47816
+
+// nsfSchema is the Figure-9 NSF schema: nine categorical attributes with
+// domain sizes 5, 8, 49, 58, 58, 654, 1093, 3110 and 29042, in the paper's
+// left-to-right order.
+func nsfSchema() *dataspace.Schema {
+	return dataspace.MustSchema([]dataspace.Attribute{
+		{Name: "Amnt", Kind: dataspace.Categorical, DomainSize: 5},
+		{Name: "Instru", Kind: dataspace.Categorical, DomainSize: 8},
+		{Name: "Field", Kind: dataspace.Categorical, DomainSize: 49},
+		{Name: "PI-state", Kind: dataspace.Categorical, DomainSize: 58},
+		{Name: "NSF-org", Kind: dataspace.Categorical, DomainSize: 58},
+		{Name: "Prog-mgr", Kind: dataspace.Categorical, DomainSize: 654},
+		{Name: "City", Kind: dataspace.Categorical, DomainSize: 1093},
+		{Name: "PI-org", Kind: dataspace.Categorical, DomainSize: 3110},
+		{Name: "PI-name", Kind: dataspace.Categorical, DomainSize: 29042},
+	})
+}
+
+// NSFLike synthesizes the NSF award-search stand-in: the exact Figure-9
+// domain-size vector, 47,816 tuples, Zipf-skewed marginals, and the
+// correlations a real award database exhibits (a PI name is nearly
+// functionally determined by one organization and city; a program manager
+// belongs to one NSF organization). Those correlations matter because they
+// control how many deep data-space-tree nodes overflow, which is what
+// separates DFS from the slice-cover family in Figure 11.
+func NSFLike(seed uint64) *Dataset {
+	return nsfLikeN("nsf-like", NSFN, seed)
+}
+
+// NSFLikeN is NSFLike with an explicit cardinality, for scaled-down test
+// runs.
+func NSFLikeN(n int, seed uint64) *Dataset {
+	return nsfLikeN("nsf-like", n, seed)
+}
+
+func nsfLikeN(name string, n int, seed uint64) *Dataset {
+	rng := simrand.New(seed)
+	sch := nsfSchema()
+
+	amnt := simrand.NewZipf(rng, 5, 0.8)
+	instru := simrand.NewZipf(rng, 8, 1.4)
+	field := simrand.NewZipf(rng, 49, 1.0)
+	state := simrand.NewZipf(rng, 58, 1.0)
+	org := simrand.NewZipf(rng, 58, 0.9)
+	mgr := simrand.NewZipf(rng, 654, 0.6)
+	city := simrand.NewZipf(rng, 1093, 0.9)
+	piOrg := simrand.NewZipf(rng, 3110, 0.7)
+	piName := simrand.NewZipf(rng, 29042, 0.4)
+
+	// Correlation tables: each program manager works within one NSF org;
+	// each PI org sits in one state and one city; each PI name belongs to
+	// one org and has a home field.
+	mgrOrg := make([]int64, 654+1)
+	for i := range mgrOrg {
+		mgrOrg[i] = org.Draw()
+	}
+	orgState := make([]int64, 3110+1)
+	orgCity := make([]int64, 3110+1)
+	for i := range orgState {
+		orgState[i] = state.Draw()
+		orgCity[i] = city.Draw()
+	}
+	nameOrg := make([]int64, 29042+1)
+	nameField := make([]int64, 29042+1)
+	for i := range nameOrg {
+		nameOrg[i] = piOrg.Draw()
+		nameField[i] = field.Draw()
+	}
+
+	tuples := make(dataspace.Bag, 0, n)
+	for i := 0; i < n; i++ {
+		t := make(dataspace.Tuple, sch.Dims())
+		name := piName.Draw()
+		po := nameOrg[name]
+		if rng.Bool(0.05) { // PIs occasionally move institutions
+			po = piOrg.Draw()
+		}
+		m := mgr.Draw()
+
+		t[0] = amnt.Draw()
+		t[1] = instru.Draw()
+		t[2] = nameField[name]
+		if rng.Bool(0.15) { // interdisciplinary awards
+			t[2] = field.Draw()
+		}
+		t[3] = orgState[po]
+		t[4] = mgrOrg[m]
+		t[5] = m
+		t[6] = orgCity[po]
+		t[7] = po
+		t[8] = name
+		tuples = append(tuples, t)
+	}
+	return &Dataset{Name: name, Schema: sch, Tuples: tuples}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"hidb/internal/tabulate"
+)
+
+// Report runs every experiment and writes the rendered tables to w. When
+// csv is true, CSV is emitted instead of aligned text. Figure names:
+// "9", "10a", "10b", "10c", "11a", "11b", "11c", "12", "13", "theorems",
+// "ablations". An empty filter runs everything.
+func Report(w io.Writer, cfg Config, only map[string]bool, csv bool) error {
+	want := func(name string) bool { return len(only) == 0 || only[name] }
+	emit := func(t *tabulate.Table) {
+		if csv {
+			fmt.Fprintln(w, t.Title)
+			io.WriteString(w, t.CSV())
+		} else {
+			io.WriteString(w, t.String())
+		}
+		fmt.Fprintln(w)
+	}
+
+	if want("9") {
+		for _, t := range Figure9(cfg) {
+			emit(t)
+		}
+	}
+	type figFn struct {
+		name string
+		fn   func(Config) (*Figure, error)
+	}
+	for _, f := range []figFn{
+		{"10a", Figure10a}, {"10b", Figure10b}, {"10c", Figure10c},
+		{"11a", Figure11a}, {"11b", Figure11b}, {"11c", Figure11c},
+		{"12", Figure12}, {"13", Figure13},
+	} {
+		if !want(f.name) {
+			continue
+		}
+		fig, err := f.fn(cfg)
+		if err != nil {
+			return fmt.Errorf("experiments: figure %s: %w", f.name, err)
+		}
+		emit(fig.Table())
+	}
+	if want("theorems") {
+		t, err := TheoremTable(cfg)
+		if err != nil {
+			return fmt.Errorf("experiments: theorems: %w", err)
+		}
+		emit(t)
+	}
+	if want("ablations") {
+		for _, f := range []figFn{
+			{"A1", AblationSplitThreshold},
+			{"A2", AblationEagerVsLazy},
+			{"A3", AblationDependencyFilter},
+			{"A4", AblationAttributeOrder},
+			{"A5", func(c Config) (*Figure, error) { return AblationParallel(c, 2*time.Millisecond) }},
+		} {
+			fig, err := f.fn(cfg)
+			if err != nil {
+				return fmt.Errorf("experiments: ablation %s: %w", f.name, err)
+			}
+			emit(fig.Table())
+		}
+		t, err := AblationPrioritySeeds(cfg)
+		if err != nil {
+			return fmt.Errorf("experiments: ablation seeds: %w", err)
+		}
+		emit(t)
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"hidb/internal/core"
+	"hidb/internal/datagen"
+	"hidb/internal/dataspace"
+)
+
+// numericAlgs are the contenders of Figure 10.
+func numericAlgs() []core.Crawler {
+	return []core.Crawler{core.BinaryShrink{}, core.RankShrink{}}
+}
+
+// Figure10a reproduces "Query cost of numeric algorithms — cost vs k
+// (d = 6)": binary-shrink vs rank-shrink on Adult-numeric across the k
+// sweep.
+func Figure10a(cfg Config) (*Figure, error) {
+	ds := datagen.AdultNumericN(cfg.scaled(datagen.AdultN), cfg.DataSeed)
+	ks := PaperKs()
+	series, err := kSweep(cfg, numericAlgs(), ds, ks)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:      "10a",
+		Caption: "query cost of numeric algorithms vs k (Adult-numeric, d=6)",
+		XLabel:  "k",
+		X:       floats(ks),
+		Series:  series,
+	}, nil
+}
+
+// Figure10b reproduces "cost vs dimensionality (k = 256)": for each
+// d ∈ [3,6], the workload keeps the d numeric attributes with the most
+// distinct values (Fnalwgt, then Cap-gain, Cap-loss, Wrk-hr, Age, Edu-num).
+func Figure10b(cfg Config) (*Figure, error) {
+	full := datagen.AdultNumericN(cfg.scaled(datagen.AdultN), cfg.DataSeed)
+	dims := []int{3, 4, 5, 6}
+	datasets := make([]*datagen.Dataset, 0, len(dims))
+	for _, d := range dims {
+		cols := full.TopDistinct(d, dataspace.Numeric)
+		proj, err := full.Project(cols)
+		if err != nil {
+			return nil, err
+		}
+		datasets = append(datasets, proj)
+	}
+	series, err := costSweep(cfg, numericAlgs(), datasets, 256)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:      "10b",
+		Caption: "query cost of numeric algorithms vs dimensionality (Adult-numeric, k=256)",
+		XLabel:  "d",
+		X:       floats(dims),
+		Series:  series,
+	}, nil
+}
+
+// Figure10c reproduces "cost vs dataset size (k = 256, d = 6)": Bernoulli
+// samples of Adult-numeric at 20%…100%.
+func Figure10c(cfg Config) (*Figure, error) {
+	full := datagen.AdultNumericN(cfg.scaled(datagen.AdultN), cfg.DataSeed)
+	pcts := PaperSamplePercents()
+	datasets := make([]*datagen.Dataset, 0, len(pcts))
+	for _, p := range pcts {
+		datasets = append(datasets, full.Sample(float64(p)/100, cfg.DataSeed+uint64(p)))
+	}
+	series, err := costSweep(cfg, numericAlgs(), datasets, 256)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:      "10c",
+		Caption: "query cost of numeric algorithms vs dataset size (Adult-numeric, k=256, d=6)",
+		XLabel:  "size%",
+		X:       floats(pcts),
+		Series:  series,
+	}, nil
+}

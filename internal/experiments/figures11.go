@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"hidb/internal/core"
+	"hidb/internal/datagen"
+	"hidb/internal/dataspace"
+)
+
+// categoricalAlgs are the contenders of Figure 11.
+func categoricalAlgs() []core.Crawler {
+	return []core.Crawler{core.DFS{}, core.SliceCover{}, core.LazySliceCover{}}
+}
+
+// nsfProjected returns the NSF-like workload restricted to the d categorical
+// attributes with the most distinct values, as the paper does for its
+// dimensionality-controlled categorical experiments.
+func nsfProjected(cfg Config, d int) (*datagen.Dataset, error) {
+	full := datagen.NSFLikeN(cfg.scaled(datagen.NSFN), cfg.DataSeed)
+	if d >= full.Schema.Dims() {
+		return full, nil
+	}
+	cols := full.TopDistinct(d, dataspace.Categorical)
+	return full.Project(cols)
+}
+
+// Figure11a reproduces "Query cost of categorical algorithms — cost vs k
+// (d = 6)": DFS vs slice-cover vs lazy-slice-cover on the 6-attribute NSF
+// projection across the k sweep.
+func Figure11a(cfg Config) (*Figure, error) {
+	ds, err := nsfProjected(cfg, 6)
+	if err != nil {
+		return nil, err
+	}
+	ks := PaperKs()
+	series, err := kSweep(cfg, categoricalAlgs(), ds, ks)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:      "11a",
+		Caption: "query cost of categorical algorithms vs k (NSF, d=6)",
+		XLabel:  "k",
+		X:       floats(ks),
+		Series:  series,
+	}, nil
+}
+
+// Figure11b reproduces "cost vs dimensionality (k = 256)": d ∈ [5,9]
+// projections of NSF keeping the attributes with the most distinct values.
+func Figure11b(cfg Config) (*Figure, error) {
+	dims := []int{5, 6, 7, 8, 9}
+	datasets := make([]*datagen.Dataset, 0, len(dims))
+	for _, d := range dims {
+		ds, err := nsfProjected(cfg, d)
+		if err != nil {
+			return nil, err
+		}
+		datasets = append(datasets, ds)
+	}
+	series, err := costSweep(cfg, categoricalAlgs(), datasets, 256)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:      "11b",
+		Caption: "query cost of categorical algorithms vs dimensionality (NSF, k=256)",
+		XLabel:  "d",
+		X:       floats(dims),
+		Series:  series,
+	}, nil
+}
+
+// Figure11c reproduces "cost vs dataset size (k = 256, d = 9)": Bernoulli
+// samples of the full NSF workload at 20%…100%.
+func Figure11c(cfg Config) (*Figure, error) {
+	full := datagen.NSFLikeN(cfg.scaled(datagen.NSFN), cfg.DataSeed)
+	pcts := PaperSamplePercents()
+	datasets := make([]*datagen.Dataset, 0, len(pcts))
+	for _, p := range pcts {
+		datasets = append(datasets, full.Sample(float64(p)/100, cfg.DataSeed+uint64(p)))
+	}
+	series, err := costSweep(cfg, categoricalAlgs(), datasets, 256)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID:      "11c",
+		Caption: "query cost of categorical algorithms vs dataset size (NSF, k=256, d=9)",
+		XLabel:  "size%",
+		X:       floats(pcts),
+		Series:  series,
+	}, nil
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hidb/internal/core"
+	"hidb/internal/datagen"
+	"hidb/internal/tabulate"
+)
+
+// TheoremCheck is the outcome of running an algorithm on one of the paper's
+// adversarial lower-bound instances.
+type TheoremCheck struct {
+	// Instance describes the constructed dataset.
+	Instance string
+	// Algorithm is the crawler evaluated.
+	Algorithm string
+	// N and K are the instance parameters.
+	N, K int
+	// LowerBound is the theorem's minimum query count for any algorithm.
+	LowerBound int
+	// UpperBound is the theorem-1 cost bound for this algorithm (0 when
+	// the paper gives none, e.g. for baselines).
+	UpperBound int
+	// Cost is the measured query count.
+	Cost int
+}
+
+// Theorem3 builds the hard numeric dataset of Figure 7 with the given
+// parameters and measures rank-shrink against the d·m lower bound and the
+// Lemma 2 upper bound (20·d·n/k, the constant from the paper's inductive
+// proof).
+func Theorem3(cfg Config, m, d, k int) (*TheoremCheck, error) {
+	ds, err := datagen.HardNumeric(m, d, k)
+	if err != nil {
+		return nil, err
+	}
+	cost, err := runCost(cfg, core.RankShrink{}, ds, k)
+	if err != nil {
+		return nil, err
+	}
+	n := ds.N()
+	return &TheoremCheck{
+		Instance:   ds.Name,
+		Algorithm:  "rank-shrink",
+		N:          n,
+		K:          k,
+		LowerBound: datagen.HardNumericLowerBound(m, d),
+		UpperBound: 20 * d * n / k,
+		Cost:       int(cost),
+	}, nil
+}
+
+// Theorem4 builds the hard categorical dataset of Figure 8 (d = 2k, every
+// domain of size U) and measures a slice-cover-family algorithm against the
+// Lemma 4 upper bound Σ Ui + (n/k)·Σ min{Ui, n/k}.
+func Theorem4(cfg Config, uSize, k int, alg core.Crawler) (*TheoremCheck, error) {
+	ds, err := datagen.HardCategorical(uSize, k)
+	if err != nil {
+		return nil, err
+	}
+	cost, err := runCost(cfg, alg, ds, k)
+	if err != nil {
+		return nil, err
+	}
+	d := 2 * k
+	n := ds.N() // = d*U
+	upper := lemma4Upper(d, uSize, n, k)
+	return &TheoremCheck{
+		Instance:   ds.Name,
+		Algorithm:  alg.Name(),
+		N:          n,
+		K:          k,
+		LowerBound: 0, // the Ω(dU²) bound binds only when dU² <= 2^(d/4)
+		UpperBound: upper,
+		Cost:       int(cost),
+	}, nil
+}
+
+// lemma4Upper evaluates Σ Ui + (n/k)·Σ min{Ui, n/k} for d equal-size
+// domains.
+func lemma4Upper(d, u, n, k int) int {
+	nk := n / k
+	m := u
+	if nk < m {
+		m = nk
+	}
+	return d*u + nk*d*m
+}
+
+// TheoremTable runs the standard theorem checks and renders them.
+func TheoremTable(cfg Config) (*tabulate.Table, error) {
+	t := tabulate.New("Lower/upper bound verification (Theorems 1–4)",
+		"instance", "algorithm", "n", "k", "lower", "cost", "upper")
+	t3, err := Theorem3(cfg, 50, 4, 16)
+	if err != nil {
+		return nil, err
+	}
+	addCheck(t, t3)
+	t3b, err := Theorem3(cfg, 100, 8, 32)
+	if err != nil {
+		return nil, err
+	}
+	addCheck(t, t3b)
+	for _, alg := range []core.Crawler{core.SliceCover{}, core.LazySliceCover{}} {
+		t4, err := Theorem4(cfg, 8, 4, alg)
+		if err != nil {
+			return nil, err
+		}
+		addCheck(t, t4)
+	}
+	return t, nil
+}
+
+func addCheck(t *tabulate.Table, c *TheoremCheck) {
+	lower := "-"
+	if c.LowerBound > 0 {
+		lower = fmt.Sprintf("%d", c.LowerBound)
+	}
+	t.AddRow(c.Instance, c.Algorithm, c.N, c.K, lower, c.Cost, c.UpperBound)
+}

@@ -1,0 +1,261 @@
+// Package hiddendb simulates the server side of a hidden database exactly as
+// the problem setup of Sheng et al. (VLDB 2012, §1.1) specifies:
+//
+//   - the database D is a bag of tuples over a data space;
+//   - a query returns the full qualifying bag q(D) when |q(D)| <= k
+//     ("resolved"), and otherwise the k qualifying tuples of highest
+//     priority plus an overflow signal;
+//   - repeating an overflowing query returns the same k tuples.
+//
+// Priorities are a fixed random permutation of the tuples, mirroring the
+// paper's experimental setup ("each tuple is assigned a random priority, so
+// that if a query overflows, always the k tuples with the highest priorities
+// are returned").
+//
+// The package also provides the measurement wrappers the crawling algorithms
+// and the experiment harness are built on: a query counter, a memoizing
+// cache (the "lazy" in lazy-slice-cover), and a quota enforcer that models
+// the per-IP query budgets real sites impose.
+package hiddendb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hidb/internal/dataspace"
+	"hidb/internal/index"
+	"hidb/internal/simrand"
+)
+
+// Result is the server's response to one query.
+type Result struct {
+	// Tuples holds q(D) if the query resolved, else the k highest-priority
+	// qualifying tuples. Callers must treat the tuples as read-only.
+	Tuples dataspace.Bag
+	// Overflow is the signal that q(D) has more tuples than were returned.
+	Overflow bool
+}
+
+// Resolved reports whether the query was answered completely.
+func (r Result) Resolved() bool { return !r.Overflow }
+
+// Server is the query interface a crawler sees. Implementations must be
+// deterministic: issuing the same query twice yields the same response.
+type Server interface {
+	// Answer runs one form query against the hidden database.
+	Answer(q dataspace.Query) (Result, error)
+	// K returns the server's return limit.
+	K() int
+	// Schema describes the data space the server's form exposes.
+	Schema() *dataspace.Schema
+}
+
+// ErrQuotaExceeded is returned by a QuotaServer once its budget is spent.
+var ErrQuotaExceeded = errors.New("hiddendb: query quota exceeded")
+
+// Local is an in-process Server backed by an index.Store.
+type Local struct {
+	store *index.Store
+	k     int
+}
+
+// NewLocal builds a local server over the bag with return limit k. The
+// priority permutation is drawn from the given seed, so the same
+// (bag, k, seed) triple always yields an identical server.
+func NewLocal(schema *dataspace.Schema, bag dataspace.Bag, k int, seed uint64) (*Local, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("hiddendb: return limit k must be >= 1, got %d", k)
+	}
+	rng := simrand.New(seed)
+	perm := rng.Perm(len(bag))
+	byRank := make([]dataspace.Tuple, len(bag))
+	for rank, idx := range perm {
+		byRank[rank] = bag[idx]
+	}
+	store, err := index.New(schema, byRank)
+	if err != nil {
+		return nil, err
+	}
+	return &Local{store: store, k: k}, nil
+}
+
+// Answer implements Server.
+func (l *Local) Answer(q dataspace.Query) (Result, error) {
+	if q.Schema() != l.store.Schema() {
+		if err := q.Validate(); err != nil {
+			return Result{}, fmt.Errorf("hiddendb: invalid query: %w", err)
+		}
+	}
+	got := l.store.Select(q, l.k)
+	if len(got) > l.k {
+		return Result{Tuples: dataspace.Bag(got[:l.k]), Overflow: true}, nil
+	}
+	return Result{Tuples: dataspace.Bag(got)}, nil
+}
+
+// K implements Server.
+func (l *Local) K() int { return l.k }
+
+// Schema implements Server.
+func (l *Local) Schema() *dataspace.Schema { return l.store.Schema() }
+
+// Size returns n, the number of tuples in the hidden database. A real
+// hidden server would not expose this; it exists for experiments and tests.
+func (l *Local) Size() int { return l.store.Size() }
+
+// Dump returns the ground-truth bag (priority order). Test/measurement only.
+func (l *Local) Dump() dataspace.Bag { return dataspace.Bag(l.store.All()) }
+
+// Counting wraps a Server and counts the queries that actually reach it.
+// This is the paper's cost metric.
+type Counting struct {
+	inner    Server
+	queries  int
+	resolved int
+	overflow int
+}
+
+// NewCounting wraps srv with a fresh counter.
+func NewCounting(srv Server) *Counting { return &Counting{inner: srv} }
+
+// Answer implements Server, incrementing the counters.
+func (c *Counting) Answer(q dataspace.Query) (Result, error) {
+	res, err := c.inner.Answer(q)
+	if err != nil {
+		return res, err
+	}
+	c.queries++
+	if res.Overflow {
+		c.overflow++
+	} else {
+		c.resolved++
+	}
+	return res, nil
+}
+
+// K implements Server.
+func (c *Counting) K() int { return c.inner.K() }
+
+// Schema implements Server.
+func (c *Counting) Schema() *dataspace.Schema { return c.inner.Schema() }
+
+// Queries returns the number of queries issued so far.
+func (c *Counting) Queries() int { return c.queries }
+
+// Resolved returns how many of the issued queries resolved.
+func (c *Counting) Resolved() int { return c.resolved }
+
+// Overflowed returns how many of the issued queries overflowed.
+func (c *Counting) Overflowed() int { return c.overflow }
+
+// Reset zeroes the counters.
+func (c *Counting) Reset() { c.queries, c.resolved, c.overflow = 0, 0, 0 }
+
+// Caching wraps a Server and memoizes responses by canonical query key.
+// A repeated query is answered from the cache and does not count against the
+// inner server. Lazy-slice-cover and hybrid rely on this to consult a slice
+// query many times while paying for it once.
+type Caching struct {
+	inner Server
+	cache map[string]Result
+	hits  int
+}
+
+// NewCaching wraps srv with an empty memo table.
+func NewCaching(srv Server) *Caching {
+	return &Caching{inner: srv, cache: make(map[string]Result)}
+}
+
+// Answer implements Server with memoization.
+func (c *Caching) Answer(q dataspace.Query) (Result, error) {
+	key := q.Key()
+	if res, ok := c.cache[key]; ok {
+		c.hits++
+		return res, nil
+	}
+	res, err := c.inner.Answer(q)
+	if err != nil {
+		return res, err
+	}
+	c.cache[key] = res
+	return res, nil
+}
+
+// K implements Server.
+func (c *Caching) K() int { return c.inner.K() }
+
+// Schema implements Server.
+func (c *Caching) Schema() *dataspace.Schema { return c.inner.Schema() }
+
+// Hits returns how many queries were served from the cache.
+func (c *Caching) Hits() int { return c.hits }
+
+// Quota wraps a Server and fails with ErrQuotaExceeded after budget
+// queries, modelling per-IP limits of real sites ("most systems have a
+// control on how many queries can be submitted by the same IP address").
+// Safe for concurrent use when the inner server is.
+type Quota struct {
+	inner  Server
+	mu     sync.Mutex
+	budget int
+	used   int
+}
+
+// NewQuota wraps srv with the given query budget.
+func NewQuota(srv Server, budget int) *Quota {
+	return &Quota{inner: srv, budget: budget}
+}
+
+// Answer implements Server, debiting the budget.
+func (q *Quota) Answer(query dataspace.Query) (Result, error) {
+	q.mu.Lock()
+	if q.used >= q.budget {
+		q.mu.Unlock()
+		return Result{}, ErrQuotaExceeded
+	}
+	q.used++
+	q.mu.Unlock()
+	return q.inner.Answer(query)
+}
+
+// K implements Server.
+func (q *Quota) K() int { return q.inner.K() }
+
+// Schema implements Server.
+func (q *Quota) Schema() *dataspace.Schema { return q.inner.Schema() }
+
+// Remaining returns the unused budget.
+func (q *Quota) Remaining() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.budget - q.used
+}
+
+// Latency wraps a Server and sleeps for a fixed duration before answering,
+// simulating the network round-trip of a real remote hidden database. It is
+// what makes the parallel crawler's speedup measurable in tests and
+// benchmarks. Safe for concurrent use when the inner server is (Local is:
+// it is read-only after construction).
+type Latency struct {
+	inner Server
+	delay time.Duration
+}
+
+// NewLatency wraps srv with a per-query delay.
+func NewLatency(srv Server, delay time.Duration) *Latency {
+	return &Latency{inner: srv, delay: delay}
+}
+
+// Answer implements Server after the simulated round-trip delay.
+func (l *Latency) Answer(q dataspace.Query) (Result, error) {
+	time.Sleep(l.delay)
+	return l.inner.Answer(q)
+}
+
+// K implements Server.
+func (l *Latency) K() int { return l.inner.K() }
+
+// Schema implements Server.
+func (l *Latency) Schema() *dataspace.Schema { return l.inner.Schema() }

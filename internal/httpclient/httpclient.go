@@ -1,0 +1,85 @@
+// Package httpclient implements hiddendb.Server over the HTTP wire
+// protocol of internal/httpserver, so every crawling algorithm can run
+// unmodified against a remote hidden database: Dial fetches the search
+// form's schema once, and each Answer call is one POST /query round-trip —
+// keeping the crawler's query count equal to the server's.
+package httpclient
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"hidb/internal/dataspace"
+	"hidb/internal/hiddendb"
+	"hidb/internal/wire"
+)
+
+// Client is a remote hidden database. It implements hiddendb.Server.
+type Client struct {
+	base   string
+	http   *http.Client
+	schema *dataspace.Schema
+	k      int
+}
+
+// Dial fetches the remote schema and returns a ready client. baseURL is the
+// server root, e.g. "http://localhost:8080". Passing a nil httpClient uses
+// http.DefaultClient.
+func Dial(baseURL string, httpClient *http.Client) (*Client, error) {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	c := &Client{base: baseURL, http: httpClient}
+	resp, err := httpClient.Get(baseURL + "/schema")
+	if err != nil {
+		return nil, fmt.Errorf("httpclient: fetching schema: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("httpclient: schema endpoint returned %s", resp.Status)
+	}
+	var msg wire.SchemaMsg
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&msg); err != nil {
+		return nil, fmt.Errorf("httpclient: decoding schema: %w", err)
+	}
+	c.schema, c.k, err = wire.DecodeSchema(msg)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Answer implements hiddendb.Server with one POST /query round-trip.
+func (c *Client) Answer(q dataspace.Query) (hiddendb.Result, error) {
+	body, err := json.Marshal(wire.EncodeQuery(q))
+	if err != nil {
+		return hiddendb.Result{}, fmt.Errorf("httpclient: encoding query: %w", err)
+	}
+	resp, err := c.http.Post(c.base+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return hiddendb.Result{}, fmt.Errorf("httpclient: query round-trip: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusTooManyRequests:
+		return hiddendb.Result{}, hiddendb.ErrQuotaExceeded
+	default:
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return hiddendb.Result{}, fmt.Errorf("httpclient: query returned %s: %s", resp.Status, snippet)
+	}
+	var msg wire.ResultMsg
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&msg); err != nil {
+		return hiddendb.Result{}, fmt.Errorf("httpclient: decoding result: %w", err)
+	}
+	return wire.DecodeResult(c.schema, msg)
+}
+
+// K implements hiddendb.Server.
+func (c *Client) K() int { return c.k }
+
+// Schema implements hiddendb.Server.
+func (c *Client) Schema() *dataspace.Schema { return c.schema }

@@ -1,0 +1,167 @@
+package httpclient
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"hidb/internal/core"
+	"hidb/internal/datagen"
+	"hidb/internal/dataspace"
+	"hidb/internal/hiddendb"
+	"hidb/internal/httpserver"
+)
+
+func startServer(t *testing.T, ds *datagen.Dataset, k, quota int) (*httptest.Server, *hiddendb.Local) {
+	t.Helper()
+	local, err := hiddendb.NewLocal(ds.Schema, ds.Tuples, k, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var opts []httpserver.Option
+	if quota > 0 {
+		opts = append(opts, httpserver.WithQuota(quota))
+	}
+	ts := httptest.NewServer(httpserver.New(local, opts...))
+	t.Cleanup(ts.Close)
+	return ts, local
+}
+
+func mixedDataset(t *testing.T, n int) *datagen.Dataset {
+	t.Helper()
+	ds, err := datagen.Random(datagen.RandomSpec{
+		N:          n,
+		CatDomains: []int{4, 9},
+		NumRanges:  [][2]int64{{0, 5000}},
+		Skew:       0.6,
+		DupRate:    0.05,
+	}, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestDialDiscoversSchema(t *testing.T) {
+	ds := mixedDataset(t, 200)
+	ts, _ := startServer(t, ds, 16, 0)
+	c, err := Dial(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K() != 16 {
+		t.Fatalf("K = %d, want 16", c.K())
+	}
+	if c.Schema().String() != ds.Schema.String() {
+		t.Fatalf("schema mismatch: %s", c.Schema())
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	if _, err := Dial("http://127.0.0.1:1", nil); err == nil {
+		t.Error("dial to dead address succeeded")
+	}
+	// A server that serves garbage on /schema.
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("not json"))
+	}))
+	defer bad.Close()
+	if _, err := Dial(bad.URL, nil); err == nil {
+		t.Error("garbage schema accepted")
+	}
+	// A server that 500s.
+	boom := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer boom.Close()
+	if _, err := Dial(boom.URL, nil); err == nil {
+		t.Error("500 schema accepted")
+	}
+}
+
+func TestAnswerMatchesLocal(t *testing.T) {
+	ds := mixedDataset(t, 500)
+	ts, local := startServer(t, ds, 16, 0)
+	c, err := Dial(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []dataspace.Query{
+		dataspace.UniverseQuery(c.Schema()),
+		dataspace.UniverseQuery(c.Schema()).WithValue(0, 2),
+		dataspace.UniverseQuery(c.Schema()).WithRange(2, 100, 400),
+		dataspace.UniverseQuery(c.Schema()).WithValue(0, 1).WithValue(1, 3).WithRange(2, 0, 50),
+	}
+	for _, q := range queries {
+		remote, err := c.Answer(q)
+		if err != nil {
+			t.Fatalf("remote answer for %s: %v", q, err)
+		}
+		// Re-ask locally with a schema-matched query (the remote client
+		// has its own schema instance).
+		lq := dataspace.UniverseQuery(local.Schema())
+		for i := 0; i < local.Schema().Dims(); i++ {
+			p := q.Pred(i)
+			if local.Schema().Attr(i).Kind == dataspace.Categorical {
+				if !p.Wild {
+					lq = lq.WithValue(i, p.Value)
+				}
+			} else {
+				lq = lq.WithRange(i, p.Lo, p.Hi)
+			}
+		}
+		want, err := local.Answer(lq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if remote.Overflow != want.Overflow || len(remote.Tuples) != len(want.Tuples) {
+			t.Fatalf("remote/local divergence on %s: (%v,%d) vs (%v,%d)",
+				q, remote.Overflow, len(remote.Tuples), want.Overflow, len(want.Tuples))
+		}
+		for i := range remote.Tuples {
+			if !remote.Tuples[i].Equal(want.Tuples[i]) {
+				t.Fatalf("tuple %d differs over the wire", i)
+			}
+		}
+	}
+}
+
+// TestRemoteCrawlEqualsLocal is the end-to-end property: the full crawl
+// through HTTP retrieves the same bag with the same query count as the
+// in-process crawl.
+func TestRemoteCrawlEqualsLocal(t *testing.T) {
+	ds := mixedDataset(t, 2000)
+	ts, local := startServer(t, ds, 32, 0)
+	c, err := Dial(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteRes, err := core.Hybrid{}.Crawl(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localRes, err := core.Hybrid{}.Crawl(local, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !remoteRes.Tuples.EqualMultiset(ds.Tuples) {
+		t.Fatal("remote crawl incomplete")
+	}
+	if remoteRes.Queries != localRes.Queries {
+		t.Fatalf("remote crawl cost %d != local %d", remoteRes.Queries, localRes.Queries)
+	}
+}
+
+func TestQuotaSurfacesTyped(t *testing.T) {
+	ds := mixedDataset(t, 2000)
+	ts, _ := startServer(t, ds, 16, 5)
+	c, err := Dial(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = core.Hybrid{}.Crawl(c, nil)
+	if !errors.Is(err, hiddendb.ErrQuotaExceeded) {
+		t.Fatalf("err = %v, want ErrQuotaExceeded", err)
+	}
+}

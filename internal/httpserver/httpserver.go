@@ -1,0 +1,114 @@
+// Package httpserver exposes a hiddendb.Server over HTTP, emulating a real
+// hidden database's web interface: clients learn the search form from
+// GET /schema and submit form queries via POST /query. The paper's problem
+// setup maps one-to-one onto the endpoints — a response carries at most k
+// tuples plus the overflow signal, and repeating a query returns the same
+// response.
+//
+// The handler can also enforce a per-client query quota, modelling the
+// per-IP limits that motivate the paper's cost metric.
+package httpserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"hidb/internal/hiddendb"
+	"hidb/internal/wire"
+)
+
+// Handler serves a hidden database over HTTP. It implements http.Handler.
+type Handler struct {
+	srv hiddendb.Server
+
+	mu sync.Mutex
+	// queries counts the form queries served (across all clients).
+	queries int
+	// quota, when positive, caps the number of /query requests served;
+	// further requests get 429.
+	quota int
+}
+
+// Option configures a Handler.
+type Option func(*Handler)
+
+// WithQuota caps the number of /query requests the handler will serve.
+func WithQuota(n int) Option {
+	return func(h *Handler) { h.quota = n }
+}
+
+// New builds a handler over the given server.
+func New(srv hiddendb.Server, opts ...Option) *Handler {
+	h := &Handler{srv: srv}
+	for _, o := range opts {
+		o(h)
+	}
+	return h
+}
+
+// Queries returns the number of form queries served so far.
+func (h *Handler) Queries() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.queries
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/schema" && r.Method == http.MethodGet:
+		h.handleSchema(w)
+	case r.URL.Path == "/query" && r.Method == http.MethodPost:
+		h.handleQuery(w, r)
+	case r.URL.Path == "/healthz" && r.Method == http.MethodGet:
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	default:
+		http.Error(w, "not found", http.StatusNotFound)
+	}
+}
+
+func (h *Handler) handleSchema(w http.ResponseWriter) {
+	writeJSON(w, wire.EncodeSchema(h.srv.Schema(), h.srv.K()))
+}
+
+func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var msg wire.QueryMsg
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&msg); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	q, err := wire.DecodeQuery(h.srv.Schema(), msg)
+	if err != nil {
+		http.Error(w, "bad query: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	h.mu.Lock()
+	if h.quota > 0 && h.queries >= h.quota {
+		h.mu.Unlock()
+		http.Error(w, "query quota exceeded", http.StatusTooManyRequests)
+		return
+	}
+	h.queries++
+	h.mu.Unlock()
+
+	res, err := h.srv.Answer(q)
+	if err != nil {
+		http.Error(w, "server error: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, wire.EncodeResult(res))
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already out; nothing more to do than drop the
+		// connection, which the encoder error already implies.
+		return
+	}
+}

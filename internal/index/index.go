@@ -1,0 +1,218 @@
+// Package index implements the query-evaluation engine behind the simulated
+// hidden-database server: given a form query it returns the qualifying
+// tuples in descending priority order, stopping as soon as it has one more
+// than the server's return limit k.
+//
+// Two access paths are maintained and chosen between per query, the way a
+// (very small) relational engine would:
+//
+//   - a priority-ordered heap file scan, cheap when the query is broad
+//     (overflowing queries terminate after k+1 matches);
+//   - per-attribute secondary indexes — posting lists for categorical
+//     equality predicates and value-sorted columns for numeric ranges —
+//     cheap when some predicate is selective.
+//
+// The planner estimates the candidate count of every usable predicate
+// exactly (posting-list length / binary-searched range width) and picks the
+// cheapest path.
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"hidb/internal/dataspace"
+)
+
+// numEntry is one cell of a value-sorted numeric column.
+type numEntry struct {
+	value int64
+	rank  int32 // position in priority order (0 = highest priority)
+}
+
+// Store holds one relation, its priority order, and its secondary indexes.
+// A Store is immutable after New and safe for concurrent readers.
+type Store struct {
+	schema *dataspace.Schema
+	// byRank lists the tuples in descending priority order: byRank[0] is
+	// the tuple the server prefers to return first.
+	byRank []dataspace.Tuple
+	// post[i] maps a categorical value to the ranks holding it, ascending.
+	post []map[int64][]int32
+	// sorted[i] is numeric column i sorted by (value, rank).
+	sorted [][]numEntry
+}
+
+// New builds a Store over tuples already arranged in descending priority
+// order. The tuples must all validate against the schema.
+func New(schema *dataspace.Schema, byRank []dataspace.Tuple) (*Store, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("index: nil schema")
+	}
+	d := schema.Dims()
+	for r, t := range byRank {
+		if err := t.Validate(schema); err != nil {
+			return nil, fmt.Errorf("index: tuple at rank %d: %w", r, err)
+		}
+	}
+	s := &Store{
+		schema: schema,
+		byRank: byRank,
+		post:   make([]map[int64][]int32, d),
+		sorted: make([][]numEntry, d),
+	}
+	for i := 0; i < d; i++ {
+		if schema.Attr(i).Kind == dataspace.Categorical {
+			m := make(map[int64][]int32)
+			for r, t := range byRank {
+				m[t[i]] = append(m[t[i]], int32(r))
+			}
+			s.post[i] = m
+		} else {
+			col := make([]numEntry, len(byRank))
+			for r, t := range byRank {
+				col[r] = numEntry{value: t[i], rank: int32(r)}
+			}
+			sort.Slice(col, func(a, b int) bool {
+				if col[a].value != col[b].value {
+					return col[a].value < col[b].value
+				}
+				return col[a].rank < col[b].rank
+			})
+			s.sorted[i] = col
+		}
+	}
+	return s, nil
+}
+
+// Size returns the number of tuples in the store.
+func (s *Store) Size() int { return len(s.byRank) }
+
+// Schema returns the store's schema.
+func (s *Store) Schema() *dataspace.Schema { return s.schema }
+
+// All returns the tuples in priority order. The slice and its tuples are
+// shared; callers must not mutate them.
+func (s *Store) All() []dataspace.Tuple { return s.byRank }
+
+// rangeBounds returns the half-open index range of sorted column col whose
+// values lie in [lo, hi].
+func rangeBounds(col []numEntry, lo, hi int64) (from, to int) {
+	from = sort.Search(len(col), func(i int) bool { return col[i].value >= lo })
+	to = sort.Search(len(col), func(i int) bool { return col[i].value > hi })
+	return from, to
+}
+
+// plan describes the access path chosen for a query.
+type plan struct {
+	attr int // -1 means priority scan
+	// candidate bounds for a numeric range plan
+	from, to int
+	// candidate list for a categorical plan
+	list []int32
+}
+
+// choosePlan picks the cheapest access path for q.
+func (s *Store) choosePlan(q dataspace.Query) plan {
+	n := len(s.byRank)
+	best := plan{attr: -1}
+	bestCost := n // cost of the fallback scan, in tuples touched
+	for i := 0; i < s.schema.Dims(); i++ {
+		p := q.Pred(i)
+		if s.schema.Attr(i).Kind == dataspace.Categorical {
+			if p.Wild {
+				continue
+			}
+			list := s.post[i][p.Value]
+			if len(list) < bestCost {
+				bestCost = len(list)
+				best = plan{attr: i, list: list}
+			}
+		} else {
+			if p.Lo == dataspace.NegInf && p.Hi == dataspace.PosInf {
+				continue
+			}
+			from, to := rangeBounds(s.sorted[i], p.Lo, p.Hi)
+			if to-from < bestCost {
+				bestCost = to - from
+				best = plan{attr: i, from: from, to: to}
+			}
+		}
+	}
+	// A selective index path must beat the scan by a margin: the scan
+	// early-exits after limit+1 matches, while the index path pays a sort.
+	if best.attr >= 0 && bestCost > n/4 {
+		return plan{attr: -1}
+	}
+	return best
+}
+
+// Select returns up to limit+1 tuples matching q, in descending priority
+// order. Returning limit+1 tuples signals the caller that the true result
+// exceeds limit (the server's overflow condition). The returned slice shares
+// tuple storage with the store.
+func (s *Store) Select(q dataspace.Query, limit int) []dataspace.Tuple {
+	if limit < 0 {
+		limit = 0
+	}
+	want := limit + 1
+	pl := s.choosePlan(q)
+	if pl.attr < 0 {
+		return s.scan(q, want)
+	}
+	var ranks []int32
+	if pl.list != nil {
+		ranks = pl.list // already ascending by rank
+	} else {
+		col := s.sorted[pl.attr]
+		ranks = make([]int32, 0, pl.to-pl.from)
+		for i := pl.from; i < pl.to; i++ {
+			ranks = append(ranks, col[i].rank)
+		}
+		sort.Slice(ranks, func(a, b int) bool { return ranks[a] < ranks[b] })
+	}
+	out := make([]dataspace.Tuple, 0, min(want, len(ranks)))
+	for _, r := range ranks {
+		t := s.byRank[r]
+		if q.Covers(t) {
+			out = append(out, t)
+			if len(out) == want {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Count returns the exact number of tuples matching q. Used by tests and
+// the statistics endpoints, not by the serving path.
+func (s *Store) Count(q dataspace.Query) int {
+	c := 0
+	for _, t := range s.byRank {
+		if q.Covers(t) {
+			c++
+		}
+	}
+	return c
+}
+
+// scan is the priority-ordered fallback path.
+func (s *Store) scan(q dataspace.Query, want int) []dataspace.Tuple {
+	out := make([]dataspace.Tuple, 0, min(want, 64))
+	for _, t := range s.byRank {
+		if q.Covers(t) {
+			out = append(out, t)
+			if len(out) == want {
+				break
+			}
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,198 @@
+package index
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hidb/internal/dataspace"
+	"hidb/internal/simrand"
+)
+
+func testSchema(t *testing.T) *dataspace.Schema {
+	t.Helper()
+	return dataspace.MustSchema([]dataspace.Attribute{
+		{Name: "C1", Kind: dataspace.Categorical, DomainSize: 5},
+		{Name: "C2", Kind: dataspace.Categorical, DomainSize: 20},
+		{Name: "N1", Kind: dataspace.Numeric, Min: 0, Max: 1000},
+		{Name: "N2", Kind: dataspace.Numeric, Min: -100, Max: 100},
+	})
+}
+
+func testStore(t *testing.T, n int, seed uint64) *Store {
+	t.Helper()
+	sch := testSchema(t)
+	rng := simrand.New(seed)
+	tuples := make([]dataspace.Tuple, n)
+	for i := range tuples {
+		tuples[i] = dataspace.Tuple{
+			rng.IntRange(1, 5),
+			rng.IntRange(1, 20),
+			rng.IntRange(0, 1000),
+			rng.IntRange(-100, 100),
+		}
+	}
+	s, err := New(sch, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// randomQuery builds a query with a random mix of constraining predicates.
+func randomQuery(sch *dataspace.Schema, rng *simrand.RNG) dataspace.Query {
+	q := dataspace.UniverseQuery(sch)
+	if rng.Bool(0.5) {
+		q = q.WithValue(0, rng.IntRange(1, 5))
+	}
+	if rng.Bool(0.5) {
+		q = q.WithValue(1, rng.IntRange(1, 20))
+	}
+	if rng.Bool(0.7) {
+		lo := rng.IntRange(0, 900)
+		q = q.WithRange(2, lo, lo+rng.IntRange(0, 100))
+	}
+	if rng.Bool(0.7) {
+		lo := rng.IntRange(-100, 50)
+		q = q.WithRange(3, lo, lo+rng.IntRange(0, 50))
+	}
+	return q
+}
+
+// naive computes the reference answer: qualifying tuples in rank order,
+// truncated to want.
+func naive(s *Store, q dataspace.Query, want int) []dataspace.Tuple {
+	var out []dataspace.Tuple
+	for _, t := range s.All() {
+		if q.Covers(t) {
+			out = append(out, t)
+			if len(out) == want {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// TestSelectMatchesNaive is the core property: whatever access path the
+// planner picks, the result must equal the priority-ordered scan.
+func TestSelectMatchesNaive(t *testing.T) {
+	s := testStore(t, 5000, 1)
+	rng := simrand.New(2)
+	for trial := 0; trial < 500; trial++ {
+		q := randomQuery(s.Schema(), rng)
+		for _, limit := range []int{0, 1, 10, 100} {
+			got := s.Select(q, limit)
+			want := naive(s, q, limit+1)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d limit %d: got %d tuples, want %d (query %s)",
+					trial, limit, len(got), len(want), q)
+			}
+			for i := range got {
+				if !got[i].Equal(want[i]) {
+					t.Fatalf("trial %d limit %d: tuple %d differs: %v vs %v",
+						trial, limit, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSelectOverflowSignal(t *testing.T) {
+	s := testStore(t, 1000, 3)
+	sch := s.Schema()
+	u := dataspace.UniverseQuery(sch)
+	got := s.Select(u, 10)
+	if len(got) != 11 {
+		t.Fatalf("universe with limit 10 returned %d tuples, want 11 (overflow marker)", len(got))
+	}
+	// A point query over generated data is almost surely <= limit.
+	got = s.Select(u, 2000)
+	if len(got) != 1000 {
+		t.Fatalf("universe with big limit returned %d, want all 1000", len(got))
+	}
+}
+
+func TestSelectRankOrder(t *testing.T) {
+	s := testStore(t, 2000, 5)
+	q := dataspace.UniverseQuery(s.Schema()).WithValue(0, 3)
+	got := s.Select(q, 50)
+	// Results must appear in the global priority order: each returned
+	// tuple's rank must be increasing.
+	rank := map[*int64]int{}
+	_ = rank
+	last := -1
+	for _, tu := range got {
+		// Find the tuple's rank by scanning byRank (test-only cost).
+		r := -1
+		for i, bt := range s.All() {
+			if &bt[0] == &tu[0] {
+				r = i
+				break
+			}
+		}
+		if r < 0 {
+			t.Fatal("returned tuple not found in store")
+		}
+		if r <= last {
+			t.Fatalf("results out of priority order: rank %d after %d", r, last)
+		}
+		last = r
+	}
+}
+
+func TestCount(t *testing.T) {
+	s := testStore(t, 3000, 7)
+	rng := simrand.New(8)
+	for trial := 0; trial < 100; trial++ {
+		q := randomQuery(s.Schema(), rng)
+		want := len(naive(s, q, 1<<30))
+		if got := s.Count(q); got != want {
+			t.Fatalf("Count = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	sch := testSchema(t)
+	if _, err := New(nil, nil); err == nil {
+		t.Error("nil schema accepted")
+	}
+	bad := []dataspace.Tuple{{9, 1, 0, 0}} // C1 outside [1,5]
+	if _, err := New(sch, bad); err == nil {
+		t.Error("invalid tuple accepted")
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	s, err := New(testSchema(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 0 {
+		t.Fatal("empty store has nonzero size")
+	}
+	got := s.Select(dataspace.UniverseQuery(s.Schema()), 10)
+	if len(got) != 0 {
+		t.Fatal("empty store returned tuples")
+	}
+}
+
+// Property: for random limits, Select never returns more than limit+1
+// tuples and never misses a qualifying higher-priority tuple.
+func TestSelectLimitProperty(t *testing.T) {
+	s := testStore(t, 800, 11)
+	rng := simrand.New(12)
+	f := func(limRaw uint8) bool {
+		limit := int(limRaw % 64)
+		q := randomQuery(s.Schema(), rng)
+		got := s.Select(q, limit)
+		if len(got) > limit+1 {
+			return false
+		}
+		want := naive(s, q, limit+1)
+		return len(got) == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

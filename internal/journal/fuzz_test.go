@@ -1,0 +1,70 @@
+package journal
+
+import (
+	"testing"
+
+	"hidb/internal/dataspace"
+)
+
+// FuzzQueryFromKey checks that arbitrary key strings either parse into a
+// query whose canonical key round-trips exactly, or are rejected — never
+// panic, never mis-parse.
+func FuzzQueryFromKey(f *testing.F) {
+	schema := dataspace.MustSchema([]dataspace.Attribute{
+		{Name: "C", Kind: dataspace.Categorical, DomainSize: 9},
+		{Name: "N", Kind: dataspace.Numeric},
+	})
+	f.Add("*|0:5")
+	f.Add("3|-10:10")
+	f.Add("*|:")
+	f.Add("||")
+	f.Add("")
+	f.Add("9|-9223372036854775807:9223372036854775806")
+	f.Fuzz(func(t *testing.T, key string) {
+		q, err := queryFromKey(schema, key)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted inputs may be non-canonical (leading zeros), but the
+		// canonical form must be a fixpoint: parse(key).Key() parses back
+		// to the same query. Journal lookups only ever see canonical keys
+		// produced by Query.Key, so this is the property that matters.
+		canon := q.Key()
+		q2, err := queryFromKey(schema, canon)
+		if err != nil {
+			t.Fatalf("canonical key %q (from %q) rejected: %v", canon, key, err)
+		}
+		if q2.Key() != canon {
+			t.Fatalf("canonicalization not idempotent: %q -> %q", canon, q2.Key())
+		}
+	})
+}
+
+// FuzzParseInt checks the journal's integer parser against the accepted
+// grammar: on success the value re-formats to a canonical decimal.
+func FuzzParseInt(f *testing.F) {
+	f.Add("0")
+	f.Add("-17")
+	f.Add("9223372036854775806")
+	f.Add("--3")
+	f.Add("1x")
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := parseInt(s)
+		if err != nil {
+			return
+		}
+		// Accepted strings must contain only an optional sign and digits.
+		body := s
+		if len(body) > 0 && body[0] == '-' {
+			body = body[1:]
+		}
+		if len(body) == 0 {
+			t.Fatalf("parseInt(%q) accepted an empty body as %d", s, v)
+		}
+		for _, c := range []byte(body) {
+			if c < '0' || c > '9' {
+				t.Fatalf("parseInt(%q) accepted a non-digit, got %d", s, v)
+			}
+		}
+	})
+}

@@ -1,0 +1,290 @@
+// Package journal makes crawls resumable. Real hidden databases cap the
+// queries a client may issue per day (the very constraint that motivates the
+// paper's cost metric), so a complete crawl may have to span several query
+// budgets. A Journal records every (query, response) pair that reached the
+// server; because the crawling algorithms are deterministic and the server's
+// responses are stable, re-running the algorithm with the journal replayed
+// in front of the server fast-forwards for free through everything already
+// paid for and continues issuing only new queries.
+//
+// The journal serializes as JSON lines (a header with the schema and k,
+// then one entry per query), so a crawl interrupted by hiddendb.
+// ErrQuotaExceeded can persist its state to disk and resume days later.
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"hidb/internal/dataspace"
+	"hidb/internal/hiddendb"
+	"hidb/internal/wire"
+)
+
+// Journal is a replayable log of server responses, keyed by canonical
+// query. Safe for concurrent use, so it composes with the parallel crawler.
+type Journal struct {
+	schema *dataspace.Schema
+	k      int
+
+	mu      sync.RWMutex
+	entries map[string]hiddendb.Result
+	order   []string // insertion order, for deterministic serialization
+}
+
+// New creates an empty journal for a server with the given schema and
+// return limit.
+func New(schema *dataspace.Schema, k int) *Journal {
+	return &Journal{
+		schema:  schema,
+		k:       k,
+		entries: make(map[string]hiddendb.Result),
+	}
+}
+
+// Schema returns the schema the journal was created for.
+func (j *Journal) Schema() *dataspace.Schema { return j.schema }
+
+// K returns the return limit the journal was created for.
+func (j *Journal) K() int { return j.k }
+
+// Len returns the number of recorded queries.
+func (j *Journal) Len() int {
+	j.mu.RLock()
+	defer j.mu.RUnlock()
+	return len(j.order)
+}
+
+// Lookup returns the recorded response for q, if any.
+func (j *Journal) Lookup(q dataspace.Query) (hiddendb.Result, bool) {
+	j.mu.RLock()
+	defer j.mu.RUnlock()
+	res, ok := j.entries[q.Key()]
+	return res, ok
+}
+
+// Record stores the response for q. Recording the same query twice is a
+// no-op (responses are stable by the problem setup).
+func (j *Journal) Record(q dataspace.Query, res hiddendb.Result) {
+	key := q.Key()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.entries[key]; ok {
+		return
+	}
+	j.entries[key] = res
+	j.order = append(j.order, key)
+}
+
+// entryMsg is the wire form of one journal line.
+type entryMsg struct {
+	Query  wire.QueryMsg  `json:"query"`
+	Result wire.ResultMsg `json:"result"`
+}
+
+// headerMsg is the wire form of the journal's first line.
+type headerMsg struct {
+	Schema wire.SchemaMsg `json:"schema"`
+	// Entries is the number of entry lines that follow; a reader can
+	// detect truncated journals.
+	Entries int `json:"entries"`
+}
+
+// WriteTo serializes the journal as JSON lines. It implements
+// io.WriterTo.
+func (j *Journal) WriteTo(w io.Writer) (int64, error) {
+	j.mu.RLock()
+	defer j.mu.RUnlock()
+	bw := &countingWriter{w: w}
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(headerMsg{
+		Schema:  wire.EncodeSchema(j.schema, j.k),
+		Entries: len(j.order),
+	}); err != nil {
+		return bw.n, err
+	}
+	for _, key := range j.order {
+		res := j.entries[key]
+		q, err := queryFromKey(j.schema, key)
+		if err != nil {
+			return bw.n, err
+		}
+		if err := enc.Encode(entryMsg{
+			Query:  wire.EncodeQuery(q),
+			Result: wire.EncodeResult(res),
+		}); err != nil {
+			return bw.n, err
+		}
+	}
+	return bw.n, nil
+}
+
+// ReadFrom deserializes a journal written by WriteTo.
+func ReadFrom(r io.Reader) (*Journal, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var hdr headerMsg
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("journal: reading header: %w", err)
+	}
+	schema, k, err := wire.DecodeSchema(hdr.Schema)
+	if err != nil {
+		return nil, fmt.Errorf("journal: header schema: %w", err)
+	}
+	j := New(schema, k)
+	for i := 0; i < hdr.Entries; i++ {
+		var e entryMsg
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("journal: entry %d of %d: %w (truncated journal?)", i, hdr.Entries, err)
+		}
+		q, err := wire.DecodeQuery(schema, e.Query)
+		if err != nil {
+			return nil, fmt.Errorf("journal: entry %d query: %w", i, err)
+		}
+		res, err := wire.DecodeResult(schema, e.Result)
+		if err != nil {
+			return nil, fmt.Errorf("journal: entry %d result: %w", i, err)
+		}
+		j.Record(q, res)
+	}
+	return j, nil
+}
+
+// queryFromKey reconstructs a query from its canonical key. The key format
+// is produced by dataspace.Query.Key; round-tripping through it keeps the
+// journal independent of map iteration order.
+func queryFromKey(s *dataspace.Schema, key string) (dataspace.Query, error) {
+	preds := make([]dataspace.Pred, s.Dims())
+	rest := key
+	for i := 0; i < s.Dims(); i++ {
+		var field string
+		if idx := indexByte(rest, '|'); idx >= 0 {
+			field, rest = rest[:idx], rest[idx+1:]
+		} else {
+			field, rest = rest, ""
+		}
+		if s.Attr(i).Kind == dataspace.Categorical {
+			if field == "*" {
+				preds[i] = dataspace.Pred{Wild: true}
+			} else {
+				v, err := parseInt(field)
+				if err != nil {
+					return dataspace.Query{}, fmt.Errorf("journal: bad key field %q: %w", field, err)
+				}
+				preds[i] = dataspace.Pred{Value: v}
+			}
+		} else {
+			idx := indexByte(field, ':')
+			if idx < 0 {
+				return dataspace.Query{}, fmt.Errorf("journal: bad numeric key field %q", field)
+			}
+			lo, err := parseInt(field[:idx])
+			if err != nil {
+				return dataspace.Query{}, err
+			}
+			hi, err := parseInt(field[idx+1:])
+			if err != nil {
+				return dataspace.Query{}, err
+			}
+			preds[i] = dataspace.Pred{Lo: lo, Hi: hi}
+		}
+	}
+	return dataspace.NewQuery(s, preds)
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+func parseInt(s string) (int64, error) {
+	var v int64
+	neg := false
+	if len(s) > 0 && s[0] == '-' {
+		neg = true
+		s = s[1:]
+	}
+	if len(s) == 0 {
+		return 0, fmt.Errorf("empty integer")
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("bad digit %q", c)
+		}
+		v = v*10 + int64(c-'0')
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Server wraps a hiddendb.Server with a journal: recorded queries are
+// answered from the journal at zero cost, new ones are forwarded and
+// recorded. It implements hiddendb.Server.
+type Server struct {
+	inner   hiddendb.Server
+	journal *Journal
+
+	mu      sync.Mutex
+	replays int
+}
+
+// Wrap builds the journaling view. The journal's schema and k must match
+// the server's.
+func Wrap(inner hiddendb.Server, j *Journal) (*Server, error) {
+	if j.K() != inner.K() {
+		return nil, fmt.Errorf("journal: recorded k=%d but server has k=%d", j.K(), inner.K())
+	}
+	if j.Schema().String() != inner.Schema().String() {
+		return nil, fmt.Errorf("journal: schema mismatch: %s vs %s", j.Schema(), inner.Schema())
+	}
+	return &Server{inner: inner, journal: j}, nil
+}
+
+// Answer implements hiddendb.Server.
+func (s *Server) Answer(q dataspace.Query) (hiddendb.Result, error) {
+	if res, ok := s.journal.Lookup(q); ok {
+		s.mu.Lock()
+		s.replays++
+		s.mu.Unlock()
+		return res, nil
+	}
+	res, err := s.inner.Answer(q)
+	if err != nil {
+		return res, err
+	}
+	s.journal.Record(q, res)
+	return res, nil
+}
+
+// K implements hiddendb.Server.
+func (s *Server) K() int { return s.inner.K() }
+
+// Schema implements hiddendb.Server.
+func (s *Server) Schema() *dataspace.Schema { return s.inner.Schema() }
+
+// Replays returns how many queries were answered from the journal.
+func (s *Server) Replays() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.replays
+}

@@ -1,0 +1,208 @@
+package parallel
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"hidb/internal/core"
+	"hidb/internal/datagen"
+	"hidb/internal/dataspace"
+	"hidb/internal/hiddendb"
+)
+
+func dataset(t *testing.T, spec datagen.RandomSpec, seed uint64) *datagen.Dataset {
+	t.Helper()
+	ds, err := datagen.Random(spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func server(t *testing.T, ds *datagen.Dataset, k int) *hiddendb.Local {
+	t.Helper()
+	srv, err := hiddendb.NewLocal(ds.Schema, ds.Tuples, k, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func specs() map[string]datagen.RandomSpec {
+	return map[string]datagen.RandomSpec{
+		"numeric": {
+			N: 4000, NumRanges: [][2]int64{{0, 100000}, {0, 500}}, DupRate: 0.05,
+		},
+		"categorical": {
+			N: 4000, CatDomains: []int{5, 12, 80}, Skew: 0.8, DupRate: 0.05,
+		},
+		"cat1-mixed": {
+			N: 4000, CatDomains: []int{17}, NumRanges: [][2]int64{{0, 9999}}, Skew: 0.9,
+		},
+		"mixed": {
+			N: 4000, CatDomains: []int{4, 9}, NumRanges: [][2]int64{{0, 9999}}, Skew: 0.5, DupRate: 0.05,
+		},
+	}
+}
+
+func TestParallelCompleteEverySpace(t *testing.T) {
+	seed := uint64(31)
+	for name, spec := range specs() {
+		ds := dataset(t, spec, seed)
+		for _, workers := range []int{1, 4, 16} {
+			k := 32
+			if m := ds.Tuples.MaxMultiplicity(); m > k {
+				k = m
+			}
+			srv := server(t, ds, k)
+			res, err := (Crawler{Workers: workers}).Crawl(srv, nil)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if !res.Tuples.EqualMultiset(ds.Tuples) {
+				t.Fatalf("%s workers=%d: incomplete bag (%d vs %d tuples)",
+					name, workers, len(res.Tuples), len(ds.Tuples))
+			}
+		}
+	}
+}
+
+// TestParallelCostEqualsSequential is the package's core claim: concurrency
+// changes wall-clock time, never the query cost.
+func TestParallelCostEqualsSequential(t *testing.T) {
+	for name, spec := range specs() {
+		ds := dataset(t, spec, 57)
+		k := 32
+		if m := ds.Tuples.MaxMultiplicity(); m > k {
+			k = m
+		}
+		seq, err := (core.Hybrid{}).Crawl(server(t, ds, k), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 8} {
+			par, err := (Crawler{Workers: workers}).Crawl(server(t, ds, k), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Queries != seq.Queries {
+				t.Errorf("%s workers=%d: parallel cost %d != sequential %d",
+					name, workers, par.Queries, seq.Queries)
+			}
+		}
+	}
+}
+
+func TestParallelSpeedupUnderLatency(t *testing.T) {
+	ds := dataset(t, datagen.RandomSpec{
+		N: 3000, NumRanges: [][2]int64{{0, 100000}, {0, 1000}}, DupRate: 0.02,
+	}, 91)
+	k := 64
+	delay := 3 * time.Millisecond
+	run := func(workers int) time.Duration {
+		srv := hiddendb.NewLatency(server(t, ds, k), delay)
+		start := time.Now()
+		res, err := (Crawler{Workers: workers}).Crawl(srv, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Tuples.EqualMultiset(ds.Tuples) {
+			t.Fatal("incomplete under latency")
+		}
+		return time.Since(start)
+	}
+	serial := run(1)
+	wide := run(16)
+	// With ~n/k*d independent queries and 16 workers, expect a large
+	// speedup; assert a conservative 2x to stay robust on loaded machines.
+	if wide > serial/2 {
+		t.Errorf("16 workers took %v, 1 worker %v — expected at least 2x speedup", wide, serial)
+	}
+	t.Logf("1 worker: %v, 16 workers: %v (%.1fx)", serial, wide, float64(serial)/float64(wide))
+}
+
+func TestParallelUnsolvable(t *testing.T) {
+	ds := dataset(t, datagen.RandomSpec{
+		N: 1, NumRanges: [][2]int64{{0, 10}},
+	}, 3)
+	for i := 0; i < 9; i++ {
+		ds.Tuples = append(ds.Tuples, ds.Tuples[0])
+	}
+	srv := server(t, ds, 4)
+	_, err := (Crawler{Workers: 8}).Crawl(srv, nil)
+	if !errors.Is(err, core.ErrUnsolvable) {
+		t.Fatalf("err = %v, want ErrUnsolvable", err)
+	}
+}
+
+func TestParallelQuotaPropagates(t *testing.T) {
+	ds := dataset(t, specs()["mixed"], 11)
+	srv := hiddendb.NewQuota(server(t, ds, 16), 10)
+	_, err := (Crawler{Workers: 8}).Crawl(srv, nil)
+	if !errors.Is(err, hiddendb.ErrQuotaExceeded) {
+		t.Fatalf("err = %v, want ErrQuotaExceeded", err)
+	}
+}
+
+func TestParallelProgressCallbacks(t *testing.T) {
+	ds := dataset(t, specs()["mixed"], 13)
+	srv := server(t, ds, 32)
+	var mu sync.Mutex
+	calls := 0
+	res, err := (Crawler{Workers: 8}).Crawl(srv, &core.Options{
+		OnProgress: func(p core.CurvePoint) {
+			mu.Lock()
+			calls++
+			mu.Unlock()
+		},
+		CollectCurve: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != res.Queries {
+		t.Errorf("OnProgress fired %d times for %d queries", calls, res.Queries)
+	}
+	if len(res.Curve) != res.Queries {
+		t.Errorf("curve has %d points for %d queries", len(res.Curve), res.Queries)
+	}
+	final := res.Curve[len(res.Curve)-1]
+	if final.Tuples != len(res.Tuples) {
+		t.Errorf("final curve point %d tuples, want %d", final.Tuples, len(res.Tuples))
+	}
+}
+
+func TestParallelQueryFilter(t *testing.T) {
+	ds := dataset(t, specs()["mixed"], 17)
+	valid := map[[2]int64]bool{}
+	for _, tu := range ds.Tuples {
+		valid[[2]int64{tu[0], tu[1]}] = true
+	}
+	srv := server(t, ds, 16)
+	res, err := (Crawler{Workers: 8}).Crawl(srv, &core.Options{
+		QueryFilter: func(q dataspace.Query) bool {
+			a, b := q.Pred(0), q.Pred(1)
+			if a.Wild || b.Wild {
+				return true
+			}
+			return valid[[2]int64{a.Value, b.Value}]
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Tuples.EqualMultiset(ds.Tuples) {
+		t.Fatal("filtered parallel crawl incomplete")
+	}
+}
+
+func TestName(t *testing.T) {
+	if (Crawler{}).Name() != "parallel-hybrid(1)" {
+		t.Error("default name wrong")
+	}
+	if (Crawler{Workers: 8}).Name() != "parallel-hybrid(8)" {
+		t.Error("worker count not in name")
+	}
+}

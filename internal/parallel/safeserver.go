@@ -1,0 +1,109 @@
+package parallel
+
+import (
+	"sync"
+
+	"hidb/internal/core"
+	"hidb/internal/dataspace"
+	"hidb/internal/hiddendb"
+)
+
+// safeServer is the concurrent counterpart of core's session plumbing: a
+// thread-safe memoizing, counting, filtering view of the server with a
+// semaphore bounding in-flight queries.
+//
+// Memoization is singleflight: when two workers need the same query (e.g.
+// the same slice query from different tree branches) only one issues it and
+// the other blocks on the first's result — so the set of queries reaching
+// the server is exactly the sequential algorithm's.
+type safeServer struct {
+	inner hiddendb.Server
+	opts  *core.Options
+	sem   chan struct{}
+
+	mu      sync.Mutex
+	flights map[string]*flight
+	queries int
+	resolve int
+	overfl  int
+	skipped int
+	tuples  int
+	curve   []core.CurvePoint
+}
+
+// flight is one in-progress or completed query.
+type flight struct {
+	done chan struct{}
+	res  hiddendb.Result
+	err  error
+}
+
+func newSafeServer(inner hiddendb.Server, workers int, opts *core.Options) *safeServer {
+	return &safeServer{
+		inner:   inner,
+		opts:    opts,
+		sem:     make(chan struct{}, workers),
+		flights: make(map[string]*flight),
+	}
+}
+
+// Answer issues q at most once across all workers.
+func (s *safeServer) Answer(q dataspace.Query) (hiddendb.Result, error) {
+	if s.opts.QueryFilter != nil && !s.opts.QueryFilter(q) {
+		s.mu.Lock()
+		s.skipped++
+		s.mu.Unlock()
+		return hiddendb.Result{}, nil
+	}
+	key := q.Key()
+	s.mu.Lock()
+	if f, ok := s.flights[key]; ok {
+		s.mu.Unlock()
+		<-f.done
+		return f.res, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.mu.Unlock()
+
+	s.sem <- struct{}{} // bound in-flight round-trips
+	f.res, f.err = s.inner.Answer(q)
+	<-s.sem
+
+	if f.err == nil {
+		s.mu.Lock()
+		s.queries++
+		if f.res.Overflow {
+			s.overfl++
+		} else {
+			s.resolve++
+		}
+		point := core.CurvePoint{Queries: s.queries, Tuples: s.tuples}
+		if s.opts.CollectCurve {
+			s.curve = append(s.curve, point)
+		}
+		s.mu.Unlock()
+		if s.opts.OnProgress != nil {
+			s.opts.OnProgress(point)
+		}
+	}
+	close(f.done)
+	return f.res, f.err
+}
+
+// noteTuples records output growth for the progressiveness curve.
+func (s *safeServer) noteTuples(n int) {
+	s.mu.Lock()
+	s.tuples += n
+	s.mu.Unlock()
+}
+
+// stats snapshots the counters for the final Result.
+func (s *safeServer) stats() (queries, resolved, overflowed, skipped int, curve []core.CurvePoint) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.opts.CollectCurve && len(s.curve) > 0 {
+		s.curve[len(s.curve)-1].Tuples = s.tuples
+	}
+	return s.queries, s.resolve, s.overfl, s.skipped, s.curve
+}

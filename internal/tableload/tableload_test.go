@@ -1,0 +1,184 @@
+package tableload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hidb/internal/core"
+	"hidb/internal/hiddendb"
+)
+
+const carsTSV = `make	body	price	year
+bmw	sedan	17500	2009
+bmw	sedan	17500	2009
+bmw	coupe	3299	2001
+audi	convertible	50000	2011
+audi	sedan	21000	2010
+`
+
+func TestReadTSV(t *testing.T) {
+	l, err := Read(strings.NewReader(carsTSV), Options{Name: "cars"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := l.Dataset
+	if ds.N() != 5 {
+		t.Fatalf("n = %d, want 5", ds.N())
+	}
+	// make and body become categorical (2 and 3 values); price and year
+	// numeric with data-derived bounds.
+	sch := ds.Schema
+	if sch.Cat() != 2 || sch.Dims() != 4 {
+		t.Fatalf("schema %s: cat=%d dims=%d", sch, sch.Cat(), sch.Dims())
+	}
+	if sch.Attr(0).Name != "make" || sch.Attr(0).DomainSize != 2 {
+		t.Errorf("attr0 = %+v", sch.Attr(0))
+	}
+	if sch.Attr(1).Name != "body" || sch.Attr(1).DomainSize != 3 {
+		t.Errorf("attr1 = %+v", sch.Attr(1))
+	}
+	pi := sch.IndexOf("price")
+	if pi < 0 || sch.Attr(pi).Min != 3299 || sch.Attr(pi).Max != 50000 {
+		t.Errorf("price bounds wrong: %+v", sch.Attr(pi))
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The duplicate row survives as a bag duplicate.
+	if ds.Tuples.MaxMultiplicity() != 2 {
+		t.Errorf("max multiplicity = %d, want 2", ds.Tuples.MaxMultiplicity())
+	}
+}
+
+func TestReadCSVAutoDetect(t *testing.T) {
+	csv := strings.ReplaceAll(carsTSV, "\t", ",")
+	l, err := Read(strings.NewReader(csv), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Dataset.N() != 5 || l.Dataset.Schema.Cat() != 2 {
+		t.Fatalf("CSV auto-detect failed: n=%d cat=%d", l.Dataset.N(), l.Dataset.Schema.Cat())
+	}
+}
+
+func TestDecodeTupleRoundTrip(t *testing.T) {
+	l, err := Read(strings.NewReader(carsTSV), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tu := range l.Dataset.Tuples {
+		cells, err := l.DecodeTuple(tu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLines := strings.Split(strings.TrimSpace(carsTSV), "\n")[1:]
+		want := strings.Split(wantLines[i], "\t")
+		for c := range want {
+			if cells[c] != want[c] {
+				t.Fatalf("row %d col %d: %q != %q", i, c, cells[c], want[c])
+			}
+		}
+	}
+	// Arity and dictionary errors.
+	if _, err := l.DecodeTuple(l.Dataset.Tuples[0][:2]); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	bad := l.Dataset.Tuples[0].Clone()
+	bad[0] = 99
+	if _, err := l.DecodeTuple(bad); err == nil {
+		t.Error("out-of-dictionary value accepted")
+	}
+}
+
+func TestWriteTSVRoundTrip(t *testing.T) {
+	l, err := Read(strings.NewReader(carsTSV), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := l.WriteTSV(&buf, l.Dataset.Tuples); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Dataset.Tuples.EqualMultiset(l.Dataset.Tuples) {
+		t.Fatal("TSV round trip changed the bag")
+	}
+}
+
+func TestLoadedDatasetIsCrawlable(t *testing.T) {
+	l, err := Read(strings.NewReader(carsTSV), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := hiddendb.NewLocal(l.Dataset.Schema, l.Dataset.Tuples, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (core.Hybrid{}).Crawl(srv, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Tuples.EqualMultiset(l.Dataset.Tuples) {
+		t.Fatal("crawl of loaded dataset incomplete")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	// Ragged row.
+	if _, err := Read(strings.NewReader("a,b\n1\n"), Options{}); err == nil {
+		t.Error("ragged row accepted")
+	}
+	// Domain cap.
+	var sb strings.Builder
+	sb.WriteString("text\n")
+	for i := 0; i < 50; i++ {
+		sb.WriteString(strings.Repeat("x", i+1) + "\n")
+	}
+	if _, err := Read(strings.NewReader(sb.String()), Options{MaxDomain: 10}); err == nil {
+		t.Error("over-cap categorical column accepted")
+	}
+}
+
+func TestReadEmptyFile(t *testing.T) {
+	l, err := Read(strings.NewReader("a,b\n"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Dataset.N() != 0 {
+		t.Fatalf("n = %d, want 0", l.Dataset.N())
+	}
+	// The inferred schema must still be valid (placeholder domains/bounds).
+	if l.Dataset.Schema.Dims() != 2 {
+		t.Fatalf("dims = %d, want 2", l.Dataset.Schema.Dims())
+	}
+}
+
+func TestNumericColumnWithNegatives(t *testing.T) {
+	src := "delta\n-5\n0\n17\n"
+	l, err := Read(strings.NewReader(src), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := l.Dataset.Schema.Attr(0)
+	if a.Min != -5 || a.Max != 17 {
+		t.Fatalf("bounds [%d,%d], want [-5,17]", a.Min, a.Max)
+	}
+}
+
+func TestMixedDigitsAndTextIsCategorical(t *testing.T) {
+	src := "zip\n02139\nN/A\n10001\n"
+	l, err := Read(strings.NewReader(src), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Dataset.Schema.Attr(0).Kind.String() != "categorical" {
+		t.Error("column with a non-numeric cell inferred as numeric")
+	}
+	if l.Dataset.Schema.Attr(0).DomainSize != 3 {
+		t.Errorf("domain = %d, want 3", l.Dataset.Schema.Attr(0).DomainSize)
+	}
+}
