@@ -1,0 +1,29 @@
+# Build, verify, and benchmark targets for the hidb reproduction.
+
+GO ?= go
+BENCH_OUT ?= bench.out
+BENCH_JSON ?= BENCH_1.json
+
+.PHONY: all build test bench clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+# Tier-1 verification: everything must build and every test must pass.
+test: build
+	$(GO) test ./...
+
+# bench runs the full benchmark suite — the figure/theorem harness (whose
+# custom metrics are the paper's query counts) plus the index engine's
+# microbenchmarks — and snapshots it as JSON for the perf trajectory.
+# Output goes to the file first (not through tee) so a failing benchmark
+# run aborts the target instead of writing a partial snapshot.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . ./internal/index > $(BENCH_OUT) || { cat $(BENCH_OUT); exit 1; }
+	cat $(BENCH_OUT)
+	$(GO) run ./scripts/benchjson -in $(BENCH_OUT) -out $(BENCH_JSON)
+
+clean:
+	rm -f $(BENCH_OUT)

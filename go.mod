@@ -1,0 +1,3 @@
+module hidb
+
+go 1.24

@@ -1,6 +1,7 @@
 package dataspace
 
 import (
+	"encoding/binary"
 	"fmt"
 	"strconv"
 	"strings"
@@ -93,6 +94,12 @@ func (q Query) Schema() *Schema { return q.schema }
 
 // Pred returns the predicate on attribute i.
 func (q Query) Pred(i int) Pred { return q.preds[i] }
+
+// Preds returns the query's predicates, aligned with the schema's
+// attributes. The slice is shared with the query — callers must treat it as
+// read-only. It exists so hot evaluation loops (the index engine's columnar
+// coversAt) can avoid a per-attribute Pred copy.
+func (q Query) Preds() []Pred { return q.preds }
 
 // Covers reports whether the tuple satisfies every predicate of the query.
 func (q Query) Covers(t Tuple) bool {
@@ -269,6 +276,38 @@ func (q Query) Key() string {
 		}
 	}
 	return b.String()
+}
+
+// Key-encoding tags. Each predicate contributes a tag byte followed by its
+// fixed-width operands, so two queries over the same schema produce equal
+// encodings iff their predicates are identical.
+const (
+	keyWild  = 0x00 // categorical wildcard, no operands
+	keyValue = 0x01 // categorical equality, 8-byte value
+	keyRange = 0x02 // numeric range, 8-byte lo + 8-byte hi
+)
+
+// AppendKey appends a compact binary canonical key for the query to dst and
+// returns the extended slice. It is the allocation-free counterpart of Key:
+// with a reused buffer it performs no allocation, which is what
+// hiddendb.Caching's zero-copy memo lookups rely on. Two queries over the
+// same schema have equal keys iff they specify identical predicates.
+func (q Query) AppendKey(dst []byte) []byte {
+	for i, p := range q.preds {
+		if q.schema.Attr(i).Kind == Categorical {
+			if p.Wild {
+				dst = append(dst, keyWild)
+			} else {
+				dst = append(dst, keyValue)
+				dst = binary.LittleEndian.AppendUint64(dst, uint64(p.Value))
+			}
+		} else {
+			dst = append(dst, keyRange)
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(p.Lo))
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(p.Hi))
+		}
+	}
+	return dst
 }
 
 // String renders the query with attribute names, e.g.

@@ -279,6 +279,42 @@ func TestQueryKeyCanonical(t *testing.T) {
 	}
 }
 
+func TestQueryAppendKeyCanonical(t *testing.T) {
+	s := mixedSchema(t)
+	a := UniverseQuery(s).WithValue(0, 3).WithRange(2, 10, 20)
+	b := UniverseQuery(s).WithRange(2, 10, 20).WithValue(0, 3)
+	if string(a.AppendKey(nil)) != string(b.AppendKey(nil)) {
+		t.Error("equal queries have different binary keys")
+	}
+	// The binary key must discriminate exactly as the string key does,
+	// including wildcard-vs-value and boundary shifts on either range end.
+	variants := []Query{
+		a,
+		a.WithValue(0, 4),
+		UniverseQuery(s).WithRange(2, 10, 20), // wildcard instead of Make=3
+		a.WithRange(2, 10, 21),
+		a.WithRange(2, 9, 20),
+		a.WithRange(3, 0, 0),
+		a.WithValue(1, 1),
+	}
+	for i, x := range variants {
+		for j, y := range variants {
+			sameBinary := string(x.AppendKey(nil)) == string(y.AppendKey(nil))
+			sameString := x.Key() == y.Key()
+			if sameBinary != sameString {
+				t.Errorf("variants %d,%d: binary key equality %v, string key equality %v",
+					i, j, sameBinary, sameString)
+			}
+		}
+	}
+	// Appending into a reused buffer must match a fresh encoding.
+	buf := make([]byte, 0, 64)
+	buf = append(buf[:0], 'x', 'y')
+	if got := string(a.AppendKey(buf)[2:]); got != string(a.AppendKey(nil)) {
+		t.Error("AppendKey into a prefixed buffer diverges from a fresh encoding")
+	}
+}
+
 func TestQueryString(t *testing.T) {
 	s := mixedSchema(t)
 	q := UniverseQuery(s).WithValue(0, 3).WithRange(2, 100, 200)

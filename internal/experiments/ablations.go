@@ -21,7 +21,7 @@ import (
 // denominator on Adult-numeric at k = 256. The paper's proof needs k/4; the
 // measurement shows how performance degrades (or not) around it.
 func AblationSplitThreshold(cfg Config) (*Figure, error) {
-	ds := datagen.AdultNumericN(cfg.scaled(datagen.AdultN), cfg.DataSeed)
+	ds := adultNumeric(cfg)
 	denoms := []int{2, 4, 8, 16}
 	s := Series{Label: "rank-shrink", Values: make([]float64, len(denoms))}
 	for i, den := range denoms {
@@ -89,7 +89,7 @@ func DependencyFilter(ds *datagen.Dataset, attrA, attrB int) func(dataspace.Quer
 // The paper's claim — the query cost can only go down and the upper bounds
 // still hold — is asserted by the test suite.
 func AblationDependencyFilter(cfg Config) (*Figure, error) {
-	ds := datagen.YahooLikeN(cfg.scaled(datagen.YahooN), cfg.DataSeed)
+	ds := yahooLike(cfg)
 	ks := []int{128, 256, 512, 1024}
 	fig := &Figure{
 		ID:      "A3",
@@ -108,7 +108,7 @@ func AblationDependencyFilter(cfg Config) (*Figure, error) {
 		}
 		plain.Values[i] = v
 
-		srv, err := hiddendb.NewLocal(ds.Schema, ds.Tuples, k, cfg.PrioritySeed)
+		srv, err := localServer(ds, k, cfg.PrioritySeed)
 		if err != nil {
 			return nil, err
 		}
@@ -137,9 +137,9 @@ func AblationPrioritySeeds(cfg Config) (*tabulate.Table, error) {
 		k   int
 	}
 	jobs := []job{
-		{core.RankShrink{}, datagen.AdultNumericN(cfg.scaled(datagen.AdultN), cfg.DataSeed), 256},
-		{core.LazySliceCover{}, datagen.NSFLikeN(cfg.scaled(datagen.NSFN), cfg.DataSeed), 256},
-		{core.Hybrid{}, datagen.YahooLikeN(cfg.scaled(datagen.YahooN), cfg.DataSeed), 256},
+		{core.RankShrink{}, adultNumeric(cfg), 256},
+		{core.LazySliceCover{}, nsfLike(cfg), 256},
+		{core.Hybrid{}, yahooLike(cfg), 256},
 	}
 	t := tabulate.New("Ablation: cost sensitivity to the priority permutation (k=256)",
 		"algorithm", "dataset", "min", "mean", "max")
@@ -172,12 +172,12 @@ func AblationPrioritySeeds(cfg Config) (*tabulate.Table, error) {
 // sequential algorithms' (asserted by the parallel package's tests); only
 // the elapsed time changes. Values are milliseconds.
 func AblationParallel(cfg Config, latency time.Duration) (*Figure, error) {
-	ds := datagen.YahooLikeN(cfg.scaled(datagen.YahooN), cfg.DataSeed)
+	ds := yahooLike(cfg)
 	workerCounts := []int{1, 2, 4, 8, 16, 32}
 	elapsed := Series{Label: "wall-clock-ms", Values: make([]float64, len(workerCounts))}
 	queries := Series{Label: "queries", Values: make([]float64, len(workerCounts))}
 	for i, w := range workerCounts {
-		srv, err := hiddendb.NewLocal(ds.Schema, ds.Tuples, 256, cfg.PrioritySeed)
+		srv, err := localServer(ds, 256, cfg.PrioritySeed)
 		if err != nil {
 			return nil, err
 		}

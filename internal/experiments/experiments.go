@@ -16,7 +16,6 @@ import (
 
 	"hidb/internal/core"
 	"hidb/internal/datagen"
-	"hidb/internal/hiddendb"
 	"hidb/internal/tabulate"
 )
 
@@ -126,9 +125,11 @@ func trimFloat(v float64) any {
 
 // runCost crawls the dataset with the algorithm at the given k and returns
 // the query cost. It verifies completeness: a crawl that terminates without
-// retrieving the exact bag is a bug, not a data point.
+// retrieving the exact bag is a bug, not a data point. The server comes
+// from the per-config memo, so sweeping k or the algorithm over one dataset
+// builds each priority permutation and index once.
 func runCost(cfg Config, c core.Crawler, ds *datagen.Dataset, k int) (float64, error) {
-	srv, err := hiddendb.NewLocal(ds.Schema, ds.Tuples, k, cfg.PrioritySeed)
+	srv, err := localServer(ds, k, cfg.PrioritySeed)
 	if err != nil {
 		return 0, err
 	}

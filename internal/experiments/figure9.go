@@ -15,9 +15,9 @@ import (
 // substitution documented in DESIGN.md.
 func Figure9(cfg Config) []*tabulate.Table {
 	datasets := []*datagen.Dataset{
-		datagen.YahooLikeN(cfg.scaled(datagen.YahooN), cfg.DataSeed),
-		datagen.NSFLikeN(cfg.scaled(datagen.NSFN), cfg.DataSeed),
-		datagen.AdultLikeN(cfg.scaled(datagen.AdultN), cfg.DataSeed),
+		yahooLike(cfg),
+		nsfLike(cfg),
+		adultLike(cfg),
 	}
 	var tables []*tabulate.Table
 	for _, ds := range datasets {

@@ -15,7 +15,7 @@ func numericAlgs() []core.Crawler {
 // (d = 6)": binary-shrink vs rank-shrink on Adult-numeric across the k
 // sweep.
 func Figure10a(cfg Config) (*Figure, error) {
-	ds := datagen.AdultNumericN(cfg.scaled(datagen.AdultN), cfg.DataSeed)
+	ds := adultNumeric(cfg)
 	ks := PaperKs()
 	series, err := kSweep(cfg, numericAlgs(), ds, ks)
 	if err != nil {
@@ -34,12 +34,12 @@ func Figure10a(cfg Config) (*Figure, error) {
 // d ∈ [3,6], the workload keeps the d numeric attributes with the most
 // distinct values (Fnalwgt, then Cap-gain, Cap-loss, Wrk-hr, Age, Edu-num).
 func Figure10b(cfg Config) (*Figure, error) {
-	full := datagen.AdultNumericN(cfg.scaled(datagen.AdultN), cfg.DataSeed)
+	full := adultNumeric(cfg)
 	dims := []int{3, 4, 5, 6}
 	datasets := make([]*datagen.Dataset, 0, len(dims))
 	for _, d := range dims {
 		cols := full.TopDistinct(d, dataspace.Numeric)
-		proj, err := full.Project(cols)
+		proj, err := memoProject(full, cols)
 		if err != nil {
 			return nil, err
 		}
@@ -61,11 +61,11 @@ func Figure10b(cfg Config) (*Figure, error) {
 // Figure10c reproduces "cost vs dataset size (k = 256, d = 6)": Bernoulli
 // samples of Adult-numeric at 20%…100%.
 func Figure10c(cfg Config) (*Figure, error) {
-	full := datagen.AdultNumericN(cfg.scaled(datagen.AdultN), cfg.DataSeed)
+	full := adultNumeric(cfg)
 	pcts := PaperSamplePercents()
 	datasets := make([]*datagen.Dataset, 0, len(pcts))
 	for _, p := range pcts {
-		datasets = append(datasets, full.Sample(float64(p)/100, cfg.DataSeed+uint64(p)))
+		datasets = append(datasets, memoSample(full, p, cfg.DataSeed+uint64(p)))
 	}
 	series, err := costSweep(cfg, numericAlgs(), datasets, 256)
 	if err != nil {

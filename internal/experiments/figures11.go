@@ -15,12 +15,12 @@ func categoricalAlgs() []core.Crawler {
 // attributes with the most distinct values, as the paper does for its
 // dimensionality-controlled categorical experiments.
 func nsfProjected(cfg Config, d int) (*datagen.Dataset, error) {
-	full := datagen.NSFLikeN(cfg.scaled(datagen.NSFN), cfg.DataSeed)
+	full := nsfLike(cfg)
 	if d >= full.Schema.Dims() {
 		return full, nil
 	}
 	cols := full.TopDistinct(d, dataspace.Categorical)
-	return full.Project(cols)
+	return memoProject(full, cols)
 }
 
 // Figure11a reproduces "Query cost of categorical algorithms — cost vs k
@@ -73,11 +73,11 @@ func Figure11b(cfg Config) (*Figure, error) {
 // Figure11c reproduces "cost vs dataset size (k = 256, d = 9)": Bernoulli
 // samples of the full NSF workload at 20%…100%.
 func Figure11c(cfg Config) (*Figure, error) {
-	full := datagen.NSFLikeN(cfg.scaled(datagen.NSFN), cfg.DataSeed)
+	full := nsfLike(cfg)
 	pcts := PaperSamplePercents()
 	datasets := make([]*datagen.Dataset, 0, len(pcts))
 	for _, p := range pcts {
-		datasets = append(datasets, full.Sample(float64(p)/100, cfg.DataSeed+uint64(p)))
+		datasets = append(datasets, memoSample(full, p, cfg.DataSeed+uint64(p)))
 	}
 	series, err := costSweep(cfg, categoricalAlgs(), datasets, 256)
 	if err != nil {

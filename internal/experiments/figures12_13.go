@@ -5,15 +5,14 @@ import (
 
 	"hidb/internal/core"
 	"hidb/internal/datagen"
-	"hidb/internal/hiddendb"
 	"hidb/internal/progress"
 )
 
 // mixedDatasets returns the two mixed workloads of Figures 12 and 13.
 func mixedDatasets(cfg Config) []*datagen.Dataset {
 	return []*datagen.Dataset{
-		datagen.YahooLikeN(cfg.scaled(datagen.YahooN), cfg.DataSeed),
-		datagen.AdultLikeN(cfg.scaled(datagen.AdultN), cfg.DataSeed),
+		yahooLike(cfg),
+		adultLike(cfg),
 	}
 }
 
@@ -72,7 +71,7 @@ func Figure13(cfg Config) (*Figure, error) {
 // ProgressCurve runs hybrid with curve collection and returns the
 // normalized progressiveness curve.
 func ProgressCurve(cfg Config, ds *datagen.Dataset, k int) (progress.Curve, error) {
-	srv, err := hiddendb.NewLocal(ds.Schema, ds.Tuples, k, cfg.PrioritySeed)
+	srv, err := localServer(ds, k, cfg.PrioritySeed)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,59 @@
+package hiddendb_test
+
+// Caching switched its memo key from the string Query.Key to the binary
+// Query.AppendKey encoding. The test here pins the behavioural contract of
+// that swap from the algorithms' point of view: lazy-slice-cover's query
+// count — the paper's cost metric — must be exactly what the canonical
+// string key would produce. If the binary key were coarser (two different
+// queries colliding), the crawl would receive a wrong cached answer and
+// fail the completeness check; if it were finer (one query under two
+// keys), some canonical key would reach the inner server twice.
+
+import (
+	"testing"
+
+	"hidb/internal/core"
+	"hidb/internal/datagen"
+	"hidb/internal/dataspace"
+	"hidb/internal/hiddendb"
+)
+
+// recorder counts, per canonical string key, how often each distinct query
+// reaches the inner server.
+type recorder struct {
+	inner hiddendb.Server
+	seen  map[string]int
+}
+
+func (r *recorder) Answer(q dataspace.Query) (hiddendb.Result, error) {
+	r.seen[q.Key()]++
+	return r.inner.Answer(q)
+}
+
+func (r *recorder) K() int                    { return r.inner.K() }
+func (r *recorder) Schema() *dataspace.Schema { return r.inner.Schema() }
+
+func TestLazySliceCoverQueryCountUnchangedByKeySwap(t *testing.T) {
+	ds := datagen.NSFLikeN(2500, 11)
+	srv, err := hiddendb.NewLocal(ds.Schema, ds.Tuples, 64, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recorder{inner: srv, seen: map[string]int{}}
+	res, err := core.LazySliceCover{}.Crawl(rec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Tuples.EqualMultiset(ds.Tuples) {
+		t.Fatal("crawl incomplete — a memo-key collision returned a wrong cached answer")
+	}
+	for key, c := range rec.seen {
+		if c > 1 {
+			t.Errorf("query %q reached the server %d times — the binary memo key is finer than the canonical key", key, c)
+		}
+	}
+	if res.Queries != len(rec.seen) {
+		t.Errorf("query cost %d != %d distinct canonical queries — the key swap changed the cost metric",
+			res.Queries, len(rec.seen))
+	}
+}

@@ -157,10 +157,18 @@ func (c *Counting) Reset() { c.queries, c.resolved, c.overflow = 0, 0, 0 }
 // A repeated query is answered from the cache and does not count against the
 // inner server. Lazy-slice-cover and hybrid rely on this to consult a slice
 // query many times while paying for it once.
+//
+// The memo key is the compact binary encoding of Query.AppendKey, built
+// into a buffer reused across calls: a cache hit performs no allocation at
+// all (the map lookup is a zero-copy string conversion), and a miss pays
+// one key-string allocation when the entry is stored. Caching is not safe
+// for concurrent use; the parallel crawler has its own singleflight memo.
 type Caching struct {
-	inner Server
-	cache map[string]Result
-	hits  int
+	inner  Server
+	cache  map[string]Result
+	keyBuf []byte
+	hits   int
+	misses int
 }
 
 // NewCaching wraps srv with an empty memo table.
@@ -170,8 +178,8 @@ func NewCaching(srv Server) *Caching {
 
 // Answer implements Server with memoization.
 func (c *Caching) Answer(q dataspace.Query) (Result, error) {
-	key := q.Key()
-	if res, ok := c.cache[key]; ok {
+	c.keyBuf = q.AppendKey(c.keyBuf[:0])
+	if res, ok := c.cache[string(c.keyBuf)]; ok {
 		c.hits++
 		return res, nil
 	}
@@ -179,7 +187,8 @@ func (c *Caching) Answer(q dataspace.Query) (Result, error) {
 	if err != nil {
 		return res, err
 	}
-	c.cache[key] = res
+	c.misses++
+	c.cache[string(c.keyBuf)] = res
 	return res, nil
 }
 
@@ -191,6 +200,11 @@ func (c *Caching) Schema() *dataspace.Schema { return c.inner.Schema() }
 
 // Hits returns how many queries were served from the cache.
 func (c *Caching) Hits() int { return c.hits }
+
+// Misses returns how many queries fell through to the inner server (and
+// were then memoized). Hits() + Misses() is the number of successfully
+// answered queries.
+func (c *Caching) Misses() int { return c.misses }
 
 // Quota wraps a Server and fails with ErrQuotaExceeded after budget
 // queries, modelling per-IP limits of real sites ("most systems have a

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -174,6 +175,211 @@ func TestEmptyStore(t *testing.T) {
 	got := s.Select(dataspace.UniverseQuery(s.Schema()), 10)
 	if len(got) != 0 {
 		t.Fatal("empty store returned tuples")
+	}
+}
+
+// randomSchema draws a schema with a random categorical prefix and numeric
+// suffix (1..6 attributes total, domain sizes 1..12).
+func randomSchema(rng *simrand.RNG) *dataspace.Schema {
+	nc := int(rng.IntRange(0, 3))
+	nn := int(rng.IntRange(0, 3))
+	if nc+nn == 0 {
+		nc = 1
+	}
+	var attrs []dataspace.Attribute
+	for i := 0; i < nc; i++ {
+		attrs = append(attrs, dataspace.Attribute{
+			Name: fmt.Sprintf("C%d", i), Kind: dataspace.Categorical,
+			DomainSize: int(rng.IntRange(1, 12)),
+		})
+	}
+	for i := 0; i < nn; i++ {
+		attrs = append(attrs, dataspace.Attribute{
+			Name: fmt.Sprintf("N%d", i), Kind: dataspace.Numeric, Min: -30, Max: 30,
+		})
+	}
+	return dataspace.MustSchema(attrs)
+}
+
+// randomBag fills a bag for the schema; the tight value ranges force heavy
+// duplication, exercising posting lists with long runs and ties in the
+// sorted numeric columns.
+func randomBag(sch *dataspace.Schema, n int, rng *simrand.RNG) []dataspace.Tuple {
+	tuples := make([]dataspace.Tuple, n)
+	for i := range tuples {
+		tu := make(dataspace.Tuple, sch.Dims())
+		for a := 0; a < sch.Dims(); a++ {
+			attr := sch.Attr(a)
+			if attr.Kind == dataspace.Categorical {
+				tu[a] = rng.IntRange(1, int64(attr.DomainSize))
+			} else {
+				tu[a] = rng.IntRange(-30, 30)
+			}
+		}
+		tuples[i] = tu
+	}
+	return tuples
+}
+
+// randomQueryOver draws a query with a random mix of wildcards, equalities
+// (sometimes on values absent from the data), and numeric ranges (from
+// unbounded through empty single-point windows).
+func randomQueryOver(sch *dataspace.Schema, rng *simrand.RNG) dataspace.Query {
+	q := dataspace.UniverseQuery(sch)
+	for a := 0; a < sch.Dims(); a++ {
+		attr := sch.Attr(a)
+		if attr.Kind == dataspace.Categorical {
+			if rng.Bool(0.6) {
+				q = q.WithValue(a, rng.IntRange(1, int64(attr.DomainSize)))
+			}
+		} else if rng.Bool(0.7) {
+			lo := rng.IntRange(-35, 30)
+			width := rng.IntRange(0, 25)
+			if rng.Bool(0.1) {
+				width = -rng.IntRange(1, 10) // inverted (empty) range
+			}
+			q = q.WithRange(a, lo, lo+width)
+		}
+	}
+	return q
+}
+
+// TestPropertyRandomEngineMatchesNaiveScan pins planner correctness across
+// every access path: for randomized schemas, bags and queries, Select must
+// return exactly the tuples — in exactly the order — of a naive
+// priority-order scan, and Count must agree with the scan's total.
+func TestPropertyRandomEngineMatchesNaiveScan(t *testing.T) {
+	rng := simrand.New(99)
+	for trial := 0; trial < 40; trial++ {
+		sch := randomSchema(rng)
+		n := int(rng.IntRange(0, 600))
+		s, err := New(sch, randomBag(sch, n, rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qt := 0; qt < 60; qt++ {
+			q := randomQueryOver(sch, rng)
+			limit := int(rng.IntRange(0, 40))
+			got := s.Select(q, limit)
+			want := naive(s, q, limit+1)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: schema %s n=%d query %s limit %d: got %d tuples, want %d",
+					trial, sch, n, q, limit, len(got), len(want))
+			}
+			for i := range got {
+				if !got[i].Equal(want[i]) {
+					t.Fatalf("trial %d: schema %s query %s limit %d: tuple %d differs: %v vs %v",
+						trial, sch, q, limit, i, got[i], want[i])
+				}
+			}
+			if gotC, wantC := s.Count(q), len(naive(s, q, 1<<30)); gotC != wantC {
+				t.Fatalf("trial %d: schema %s query %s: Count = %d, want %d",
+					trial, sch, q, gotC, wantC)
+			}
+		}
+	}
+}
+
+// TestInvertedRange pins the empty-segment clamp: a query whose numeric
+// range has Lo > Hi (constructible via WithRange, which never validates,
+// and reachable because Local.Answer skips Validate for same-schema
+// queries) must select nothing and count zero rather than panicking on a
+// negative candidate count.
+func TestInvertedRange(t *testing.T) {
+	s := testStore(t, 500, 21)
+	u := dataspace.UniverseQuery(s.Schema())
+	queries := []dataspace.Query{
+		u.WithRange(2, 50, 10),                    // inverted, only bound predicate
+		u.WithRange(2, 50, 10).WithValue(0, 3),    // inverted secondary beside a posting list
+		u.WithRange(2, 50, 10).WithRange(3, 0, 5), // inverted primary beside a live range
+	}
+	for i, q := range queries {
+		if got := s.Select(q, 10); len(got) != 0 {
+			t.Errorf("query %d: Select returned %d tuples for an empty range", i, len(got))
+		}
+		if got := s.Count(q); got != 0 {
+			t.Errorf("query %d: Count = %d, want 0", i, got)
+		}
+	}
+}
+
+// TestGallop pins the exponential-search helper across window shapes.
+func TestGallop(t *testing.T) {
+	b := []int32{2, 3, 5, 8, 13, 21, 34, 55, 89}
+	for lo := 0; lo <= len(b); lo++ {
+		for target := int32(0); target < 100; target++ {
+			got := gallop(b, lo, target)
+			want := lo
+			for want < len(b) && b[want] < target {
+				want++
+			}
+			if got != want {
+				t.Fatalf("gallop(lo=%d, target=%d) = %d, want %d", lo, target, got, want)
+			}
+		}
+	}
+}
+
+// TestGallopPathsMatchColumnProbe lowers the cache-size gate so the
+// planner actually routes posting ∩ posting queries through the galloping
+// merge on a test-sized store, then checks Select and Count end-to-end
+// against the naive scan. This is the only coverage of the gallop branches
+// inside Select and Count at production thresholds (they need n ≥ 4M).
+func TestGallopPathsMatchColumnProbe(t *testing.T) {
+	defer func(old int) { colCacheTuples = old }(colCacheTuples)
+	colCacheTuples = 0
+	s := testStore(t, 4000, 23)
+	rng := simrand.New(24)
+	for trial := 0; trial < 200; trial++ {
+		q := dataspace.UniverseQuery(s.Schema()).
+			WithValue(0, rng.IntRange(1, 5)).
+			WithValue(1, rng.IntRange(1, 20))
+		for _, limit := range []int{0, 5, 100} {
+			got := s.Select(q, limit)
+			want := naive(s, q, limit+1)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d limit %d: gallop Select %d tuples, naive %d", trial, limit, len(got), len(want))
+			}
+			for i := range got {
+				if !got[i].Equal(want[i]) {
+					t.Fatalf("trial %d limit %d: tuple %d differs", trial, limit, i)
+				}
+			}
+		}
+		if gotC, wantC := s.Count(q), len(naive(s, q, 1<<30)); gotC != wantC {
+			t.Fatalf("trial %d: gallop Count = %d, want %d", trial, gotC, wantC)
+		}
+	}
+}
+
+// TestSelectGallopMatchesColumnProbe forces the galloping-merge
+// intersection (normally reserved for stores too large for cache-resident
+// columns) and checks it agrees with the default column-probe path.
+func TestSelectGallopMatchesColumnProbe(t *testing.T) {
+	s := testStore(t, 4000, 17)
+	rng := simrand.New(18)
+	for trial := 0; trial < 200; trial++ {
+		q := dataspace.UniverseQuery(s.Schema()).
+			WithValue(0, rng.IntRange(1, 5)).
+			WithValue(1, rng.IntRange(1, 20))
+		preds := q.Preds()
+		pl := s.choosePlan(preds, s.Size()/4)
+		if pl.primary < 0 || !s.isCat[pl.primary] || pl.secondary < 0 || !s.isCat[pl.secondary] {
+			t.Fatalf("trial %d: expected a posting ∩ posting plan, got %+v", trial, pl)
+		}
+		for _, limit := range []int{0, 3, 50} {
+			want := limit + 1
+			gal := s.selectGallop(preds, pl, want)
+			col := s.selectPosting(preds, pl, want)
+			if len(gal) != len(col) {
+				t.Fatalf("trial %d limit %d: gallop %d tuples, column probe %d", trial, limit, len(gal), len(col))
+			}
+			for i := range gal {
+				if !gal[i].Equal(col[i]) {
+					t.Fatalf("trial %d limit %d: tuple %d differs", trial, limit, i)
+				}
+			}
+		}
 	}
 }
 

@@ -1,0 +1,107 @@
+// Command benchjson converts `go test -bench` output into a JSON benchmark
+// report. The figure benchmarks attach the paper's query-count metrics as
+// custom benchmark metrics, so the resulting file carries both the cost
+// measure (queries, bit-stable across engine changes) and the performance
+// measure (ns/op, B/op, allocs/op) for each benchmark — one snapshot of the
+// perf trajectory per PR (BENCH_1.json, BENCH_2.json, ...).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem -benchtime 1x ./... | tee bench.out
+//	go run ./scripts/benchjson -in bench.out -out BENCH_1.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark's name with the -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value, e.g. "ns/op", "allocs/op", and the
+	// figures' "<series>_<x>_queries" custom metrics.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	in := flag.String("in", "bench.out", "benchmark output to parse")
+	out := flag.String("out", "BENCH_1.json", "JSON file to write")
+	flag.Parse()
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	var benches []Benchmark
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20) // figure lines carry many metrics
+	for sc.Scan() {
+		b, ok := parseLine(sc.Text())
+		if ok {
+			benches = append(benches, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(benches) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in %s", *in))
+	}
+
+	doc := map[string]any{"benchmarks": benches}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(benches), *out)
+}
+
+// parseLine parses "BenchmarkX-8  1  123 ns/op  4 B/op  ..." lines: the
+// name, the iteration count, then (value, unit) pairs.
+func parseLine(line string) (Benchmark, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Benchmark{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+	}
+	metrics := make(map[string]float64)
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		metrics[fields[i+1]] = v
+	}
+	return Benchmark{Name: name, Iterations: iters, Metrics: metrics}, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
