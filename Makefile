@@ -2,14 +2,25 @@
 
 GO ?= go
 BENCH_OUT ?= bench.out
-BENCH_JSON ?= BENCH_1.json
+# One benchmark snapshot per perf PR; bench compares the fresh snapshot's
+# query-count metrics against the committed baseline of the previous PR.
+BENCH_JSON ?= BENCH_2.json
+BENCH_BASELINE ?= BENCH_1.json
 
-.PHONY: all build test bench clean
+.PHONY: all build check test bench clean
 
-all: build test
+all: build check test
 
 build:
 	$(GO) build ./...
+
+# check runs the static gates: go vet and gofmt. It fails listing the
+# offending files if any file is not gofmt-clean.
+check:
+	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt -l found unformatted files:"; echo "$$out"; exit 1; \
+	fi
 
 # Tier-1 verification: everything must build and every test must pass.
 test: build
@@ -19,11 +30,13 @@ test: build
 # custom metrics are the paper's query counts) plus the index engine's
 # microbenchmarks — and snapshots it as JSON for the perf trajectory.
 # Output goes to the file first (not through tee) so a failing benchmark
-# run aborts the target instead of writing a partial snapshot.
+# run aborts the target instead of writing a partial snapshot. The snapshot
+# is then diffed against the previous PR's baseline: all *_queries metrics
+# (the paper's cost measure) must be bit-identical.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . ./internal/index > $(BENCH_OUT) || { cat $(BENCH_OUT); exit 1; }
 	cat $(BENCH_OUT)
-	$(GO) run ./scripts/benchjson -in $(BENCH_OUT) -out $(BENCH_JSON)
+	$(GO) run ./scripts/benchjson -in $(BENCH_OUT) -out $(BENCH_JSON) -baseline $(BENCH_BASELINE)
 
 clean:
 	rm -f $(BENCH_OUT)

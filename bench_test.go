@@ -11,6 +11,7 @@ package hidb_test
 import (
 	"fmt"
 	"math"
+	"strings"
 	"testing"
 	"time"
 
@@ -21,15 +22,22 @@ import (
 func benchConfig() experiments.Config { return experiments.DefaultConfig() }
 
 // reportFigure attaches every series point as a custom benchmark metric and
-// logs the aligned table.
+// logs the aligned table. Query-count series get the "_queries" unit that
+// benchjson's baseline comparison pins bit-identical across PRs; timing
+// series (e.g. the parallel ablation's wall clock) are inherently noisy and
+// get "_ms" so they are never mistaken for cost metrics.
 func reportFigure(b *testing.B, fig *experiments.Figure, err error) {
 	b.Helper()
 	if err != nil {
 		b.Fatal(err)
 	}
 	for _, s := range fig.Series {
+		unit := "queries"
+		if strings.HasSuffix(s.Label, "-ms") {
+			unit = "ms"
+		}
 		for i, v := range s.Values {
-			name := fmt.Sprintf("%s_%s=%v_queries", s.Label, fig.XLabel, fig.X[i])
+			name := fmt.Sprintf("%s_%s=%v_%s", s.Label, fig.XLabel, fig.X[i], unit)
 			if math.IsNaN(v) {
 				continue // unsolvable point (e.g. Yahoo at k=64)
 			}

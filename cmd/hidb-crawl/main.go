@@ -9,7 +9,13 @@
 //	hidb-crawl -dataset nsf -k 256 -algo dfs -progress
 //	hidb-crawl -dataset adult -k 256 -out tuples.tsv
 //	hidb-crawl -url ... -journal state.jnl                 # resumable
-//	hidb-crawl -url ... -workers 16                        # parallel
+//	hidb-crawl -url ... -workers 16                        # parallel, batched
+//	hidb-crawl -url ... -workers 16 -batch 8               # cap batch size
+//
+// With -workers N the crawler keeps up to N queries in flight and drains
+// ready queries into batches of up to N (or -batch, if set) per round trip;
+// the query cost is identical to the sequential crawl, the round-trip count
+// ~batch-size times smaller.
 package main
 
 import (
@@ -81,6 +87,7 @@ func main() {
 	showProgress := flag.Bool("progress", false, "print the progressiveness curve deciles")
 	journalPath := flag.String("journal", "", "journal file for resumable crawls (created if absent)")
 	workers := flag.Int("workers", 1, "concurrent in-flight queries (same cost, less wall-clock)")
+	batch := flag.Int("batch", 0, "max queries per AnswerBatch round trip (0 = worker count; capped at -workers)")
 	flag.Parse()
 
 	var srv hidb.Server
@@ -140,7 +147,7 @@ func main() {
 		log.Printf("journal %s: %d queries already paid for", *journalPath, before)
 	}
 
-	opts := &hidb.CrawlOptions{CollectCurve: *showProgress}
+	opts := &hidb.CrawlOptions{CollectCurve: *showProgress, BatchSize: *batch}
 	start := time.Now()
 	res, err := crawler.Crawl(srv, opts)
 	if jnl != nil {

@@ -1,13 +1,23 @@
 // Command hidb-server serves a synthetic hidden database over HTTP,
 // emulating a real site's form-based search interface: GET /schema describes
-// the form, POST /query answers at most k tuples plus an overflow signal.
+// the form, POST /query answers at most k tuples plus an overflow signal,
+// and POST /batch answers B queries in one round trip — exactly as if they
+// had been submitted to /query one by one, so the query cost is identical.
 //
 // Usage:
 //
 //	hidb-server -dataset yahoo -k 1000 -addr :8080
 //	hidb-server -dataset nsf -k 256 -quota 50000
+//	hidb-server -dataset yahoo -shards 8      # priority-range-sharded store
 //
-// Crawl it with `hidb-crawl -url http://localhost:8080`.
+// With -shards N the store is partitioned into N priority-rank ranges and a
+// /batch request fans out across the shards in parallel (each shard with
+// its own scratch memory) — the configuration for serving many concurrent
+// batched crawls from one process. Responses are bit-identical to the
+// unsharded store.
+//
+// Crawl it with `hidb-crawl -url http://localhost:8080` (add -workers N to
+// crawl with batches of up to N queries per round trip).
 package main
 
 import (
@@ -52,6 +62,7 @@ func main() {
 	prioritySeed := flag.Uint64("priority-seed", 42, "tuple priority permutation seed")
 	addr := flag.String("addr", ":8080", "listen address")
 	quota := flag.Int("quota", 0, "max queries served (0 = unlimited)")
+	shards := flag.Int("shards", 1, "priority-range shards of the store (>1 answers /batch with a parallel fan-out)")
 	flag.Parse()
 
 	var ds *datagen.Dataset
@@ -65,7 +76,12 @@ func main() {
 		log.Print(err)
 		os.Exit(2)
 	}
-	srv, err := hidb.NewLocalServer(ds.Schema, ds.Tuples, *k, *prioritySeed)
+	var srv *hidb.LocalServer
+	if *shards > 1 {
+		srv, err = hidb.NewShardedLocalServer(ds.Schema, ds.Tuples, *k, *prioritySeed, *shards)
+	} else {
+		srv, err = hidb.NewLocalServer(ds.Schema, ds.Tuples, *k, *prioritySeed)
+	}
 	if err != nil {
 		log.Print(err)
 		os.Exit(2)
@@ -77,8 +93,8 @@ func main() {
 	}
 	handler := httpserver.New(srv, opts...)
 
-	log.Printf("serving %s (n=%d, k=%d, max duplicates=%d) on %s",
-		ds.Name, ds.N(), *k, ds.Tuples.MaxMultiplicity(), *addr)
+	log.Printf("serving %s (n=%d, k=%d, max duplicates=%d, shards=%d) on %s",
+		ds.Name, ds.N(), *k, ds.Tuples.MaxMultiplicity(), srv.Shards(), *addr)
 	server := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,

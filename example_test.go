@@ -77,7 +77,7 @@ func ExampleWithJournal() {
 	{
 		srv, _ := hidb.NewLocalServer(schema, bag, 8, 42)
 		quotaed := quota{inner: srv, budget: 20}
-		wrapped, _ := hidb.WithJournal(&quotaed, jnl)
+		wrapped, _ := hidb.WithJournal(hidb.BatchedServer(&quotaed), jnl)
 		_, err := hidb.Crawl(wrapped, nil)
 		fmt.Println("session 1:", err != nil)
 		jnl.WriteTo(&snapshot) // persist state between sessions
@@ -98,7 +98,9 @@ func ExampleWithJournal() {
 	// session 2 complete: true
 }
 
-// quota is a minimal budget-enforcing Server wrapper for the example.
+// quota is a minimal budget-enforcing wrapper for the example. It
+// implements the single-query contract (hidb.SingleServer) and is upgraded
+// to the full batched Server with hidb.BatchedServer at the call site.
 type quota struct {
 	inner  hidb.Server
 	budget int

@@ -58,7 +58,7 @@ func main() {
 		log.Fatal(err)
 	}
 	var got int
-	_, err = crawler.Crawl(quotaed, &hidb.CrawlOptions{
+	_, err = crawler.Crawl(hidb.BatchedServer(quotaed), &hidb.CrawlOptions{
 		OnProgress: func(p hidb.CurvePoint) { got = p.Tuples },
 	})
 	if errors.Is(err, hidb.ErrQuotaExceeded) {
@@ -71,7 +71,9 @@ func main() {
 
 // quotaServer adapts a server to fail after budget queries, like a site's
 // per-IP limit. (The library ships the same wrapper as hiddendb.Quota; it
-// is re-implemented here to show the Server interface is trivial to wrap.)
+// is re-implemented here to show the Server interface is trivial to wrap:
+// implement the single-query contract and upgrade it with
+// hidb.BatchedServer.)
 type quotaServer struct {
 	inner  hidb.Server
 	budget int

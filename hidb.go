@@ -26,6 +26,20 @@
 // To crawl a remote hidden database, expose it with NewHTTPHandler on the
 // serving side and DialHTTP on the crawling side; every algorithm runs
 // unmodified against the remote connection.
+//
+// # Batched serving
+//
+// Server carries a batched entry point, AnswerBatch, with one invariant: a
+// batch is answered exactly as if its queries were issued sequentially
+// through Answer, so the query count — the paper's cost metric — never
+// depends on how queries are packed, while B batched queries cost a single
+// round trip (one POST /batch over HTTP, one delay under a latency model,
+// one fan-out over a sharded store). ParallelCrawler drains its ready
+// queries into such batches automatically. Custom wrappers written against
+// the single-query contract still work: upgrade them with BatchedServer.
+// For serving many concurrent crawls from one process, NewShardedLocalServer
+// partitions the store into priority-range shards that answer batches in
+// parallel, each with its own scratch memory.
 package hidb
 
 import (
@@ -70,13 +84,24 @@ const (
 
 // Server-side types. See the hiddendb package.
 type (
-	// Server is the query interface of a hidden database.
+	// Server is the query interface of a hidden database: single queries
+	// via Answer, batches via AnswerBatch (a batch is answered as if
+	// issued sequentially).
 	Server = hiddendb.Server
+	// SingleServer is the pre-batching server contract (Answer/K/Schema
+	// only); upgrade implementations with BatchedServer.
+	SingleServer = hiddendb.Single
 	// QueryResult is a server's response to one query.
 	QueryResult = hiddendb.Result
 	// LocalServer is an in-process hidden database.
 	LocalServer = hiddendb.Local
 )
+
+// BatchedServer upgrades a single-query server implementation to the full
+// batched Server contract: AnswerBatch loops over Answer, which trivially
+// preserves the batch-equals-sequential semantics. A server that already
+// implements Server is returned unchanged.
+func BatchedServer(s SingleServer) Server { return hiddendb.Batched(s) }
 
 // Crawler-side types. See the core package.
 type (
@@ -125,6 +150,16 @@ func NewLocalServer(schema *Schema, tuples Bag, k int, seed uint64) (*LocalServe
 	return hiddendb.NewLocal(schema, tuples, k, seed)
 }
 
+// NewShardedLocalServer builds an in-process hidden database whose store is
+// partitioned into the given number of priority-range shards. Responses are
+// bit-identical to NewLocalServer with the same (tuples, k, seed) —
+// sharding changes only how batches execute: AnswerBatch fans out across
+// the shards in parallel, each shard with its own scratch memory, so one
+// process can serve many concurrent crawls without contention.
+func NewShardedLocalServer(schema *Schema, tuples Bag, k int, seed uint64, shards int) (*LocalServer, error) {
+	return hiddendb.NewLocalSharded(schema, tuples, k, seed, shards)
+}
+
 // NewCrawler returns the algorithm with the given paper name: one of
 // "binary-shrink", "rank-shrink", "dfs", "slice-cover", "lazy-slice-cover"
 // or "hybrid".
@@ -143,9 +178,11 @@ func Crawl(srv Server, opts *CrawlOptions) (*CrawlResult, error) {
 	return core.ForSchema(srv.Schema()).Crawl(srv, opts)
 }
 
-// NewHTTPHandler exposes a Server over HTTP (GET /schema, POST /query).
-// A positive quota caps the number of queries served, mirroring per-IP
-// limits of real sites; zero means unlimited.
+// NewHTTPHandler exposes a Server over HTTP (GET /schema, POST /query,
+// POST /batch — B queries for one round trip, answered as if sequential).
+// A positive quota caps the number of queries served (batches count per
+// query, not per request), mirroring per-IP limits of real sites; zero
+// means unlimited.
 func NewHTTPHandler(srv Server, quota int) http.Handler {
 	if quota > 0 {
 		return httpserver.New(srv, httpserver.WithQuota(quota))
@@ -161,11 +198,13 @@ func DialHTTP(baseURL string, httpClient *http.Client) (Server, error) {
 }
 
 // ParallelCrawler returns a crawler that keeps up to workers queries in
-// flight at once. The set of issued queries — and therefore the paper's
-// cost metric — is identical to the sequential algorithms'; only the
-// wall-clock time divides by the worker count. Use it when each query is a
-// real network round-trip. OnProgress and QueryFilter callbacks must be
-// safe for concurrent invocation.
+// flight at once, draining ready queries into AnswerBatch round trips of up
+// to workers queries each (tunable via CrawlOptions.BatchSize). The set of
+// issued queries — and therefore the paper's cost metric — is identical to
+// the sequential algorithms'; the wall-clock time and the round-trip count
+// divide by the effective batch size. Use it when each round trip has real
+// network cost. OnProgress and QueryFilter callbacks must be safe for
+// concurrent invocation.
 func ParallelCrawler(workers int) Crawler { return parallel.Crawler{Workers: workers} }
 
 // Journal is a replayable log of server responses that makes crawls

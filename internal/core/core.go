@@ -58,6 +58,14 @@ type Options struct {
 	QueryFilter func(dataspace.Query) bool
 	// CollectCurve records a CurvePoint per query into Result.Curve.
 	CollectCurve bool
+	// BatchSize caps how many ready queries the parallel crawler packs
+	// into one Server.AnswerBatch round trip. Zero means the crawler's
+	// worker count; a batch is wholly in flight while its round trip
+	// runs, so values above the worker count are clamped to it. Batching
+	// never changes the query count — a batch is answered as if issued
+	// sequentially — only the number of round trips. Sequential crawlers
+	// ignore it.
+	BatchSize int
 }
 
 // Result is the outcome of a crawl.

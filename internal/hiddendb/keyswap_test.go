@@ -40,7 +40,7 @@ func TestLazySliceCoverQueryCountUnchangedByKeySwap(t *testing.T) {
 		t.Fatal(err)
 	}
 	rec := &recorder{inner: srv, seen: map[string]int{}}
-	res, err := core.LazySliceCover{}.Crawl(rec, nil)
+	res, err := core.LazySliceCover{}.Crawl(hiddendb.Batched(rec), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,16 +12,28 @@
 // that if a query overflows, always the k tuples with the highest priorities
 // are returned").
 //
+// # The batched contract
+//
+// The paper's cost metric is the query count, but a production crawler pays
+// a round trip per query. Server therefore carries two entry points with one
+// semantics: AnswerBatch(qs) answers exactly as if the queries were issued
+// sequentially through Answer, so the query count — the paper's metric — is
+// independent of how queries are packed into batches, while the round-trip
+// count divides by the batch size. Single-query implementations are upgraded
+// with the Batched adapter.
+//
 // The package also provides the measurement wrappers the crawling algorithms
 // and the experiment harness are built on: a query counter, a memoizing
 // cache (the "lazy" in lazy-slice-cover), and a quota enforcer that models
-// the per-IP query budgets real sites impose.
+// the per-IP query budgets real sites impose. All wrappers are safe for
+// concurrent use when their inner server is, and propagate batches natively.
 package hiddendb
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hidb/internal/dataspace"
@@ -46,18 +58,62 @@ func (r Result) Resolved() bool { return !r.Overflow }
 type Server interface {
 	// Answer runs one form query against the hidden database.
 	Answer(q dataspace.Query) (Result, error)
+	// AnswerBatch answers the queries exactly as if they were issued
+	// sequentially through Answer, in order: results[i] is the response to
+	// qs[i], and the server-side query count grows by len(qs). On failure
+	// the returned slice holds the responses of the queries answered
+	// before the failing one (len(results) < len(qs)) and the error
+	// describes the first query that could not be answered.
+	AnswerBatch(qs []dataspace.Query) ([]Result, error)
 	// K returns the server's return limit.
 	K() int
 	// Schema describes the data space the server's form exposes.
 	Schema() *dataspace.Schema
 }
 
+// Single is the pre-batching server contract: one query per call. It exists
+// so third-party wrappers written against the original interface keep
+// working — pass them through Batched to obtain a full Server.
+type Single interface {
+	Answer(q dataspace.Query) (Result, error)
+	K() int
+	Schema() *dataspace.Schema
+}
+
+// Batched upgrades a single-query server to the full Server contract. A
+// server that already implements Server is returned unchanged; anything
+// else is wrapped so that AnswerBatch loops over Answer, which trivially
+// satisfies the batch-equals-sequential semantics.
+func Batched(s Single) Server {
+	if srv, ok := s.(Server); ok {
+		return srv
+	}
+	return &batched{s}
+}
+
+type batched struct{ Single }
+
+// AnswerBatch implements Server by issuing the queries one at a time.
+func (b *batched) AnswerBatch(qs []dataspace.Query) ([]Result, error) {
+	out := make([]Result, 0, len(qs))
+	for _, q := range qs {
+		res, err := b.Single.Answer(q)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
 // ErrQuotaExceeded is returned by a QuotaServer once its budget is spent.
 var ErrQuotaExceeded = errors.New("hiddendb: query quota exceeded")
 
-// Local is an in-process Server backed by an index.Store.
+// Local is an in-process Server backed by an index.Engine — a single
+// index.Store, or a priority-range index.Sharded store that answers batches
+// with a parallel per-shard fan-out.
 type Local struct {
-	store *index.Store
+	store index.Engine
 	k     int
 }
 
@@ -65,6 +121,37 @@ type Local struct {
 // priority permutation is drawn from the given seed, so the same
 // (bag, k, seed) triple always yields an identical server.
 func NewLocal(schema *dataspace.Schema, bag dataspace.Bag, k int, seed uint64) (*Local, error) {
+	byRank, err := rankPermutation(bag, k, seed)
+	if err != nil {
+		return nil, err
+	}
+	store, err := index.New(schema, byRank)
+	if err != nil {
+		return nil, err
+	}
+	return &Local{store: store, k: k}, nil
+}
+
+// NewLocalSharded builds a local server whose store is partitioned into the
+// given number of priority-range shards. Responses are bit-identical to
+// NewLocal with the same (bag, k, seed); only AnswerBatch's execution
+// changes — the batch fans out across the shards in parallel, each shard
+// with its own scratch pool.
+func NewLocalSharded(schema *dataspace.Schema, bag dataspace.Bag, k int, seed uint64, shards int) (*Local, error) {
+	byRank, err := rankPermutation(bag, k, seed)
+	if err != nil {
+		return nil, err
+	}
+	store, err := index.NewSharded(schema, byRank, shards)
+	if err != nil {
+		return nil, err
+	}
+	return &Local{store: store, k: k}, nil
+}
+
+// rankPermutation arranges the bag in descending priority order per the
+// seed's random permutation.
+func rankPermutation(bag dataspace.Bag, k int, seed uint64) ([]dataspace.Tuple, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("hiddendb: return limit k must be >= 1, got %d", k)
 	}
@@ -74,11 +161,7 @@ func NewLocal(schema *dataspace.Schema, bag dataspace.Bag, k int, seed uint64) (
 	for rank, idx := range perm {
 		byRank[rank] = bag[idx]
 	}
-	store, err := index.New(schema, byRank)
-	if err != nil {
-		return nil, err
-	}
-	return &Local{store: store, k: k}, nil
+	return byRank, nil
 }
 
 // Answer implements Server.
@@ -88,11 +171,36 @@ func (l *Local) Answer(q dataspace.Query) (Result, error) {
 			return Result{}, fmt.Errorf("hiddendb: invalid query: %w", err)
 		}
 	}
-	got := l.store.Select(q, l.k)
-	if len(got) > l.k {
-		return Result{Tuples: dataspace.Bag(got[:l.k]), Overflow: true}, nil
+	return l.result(l.store.Select(q, l.k)), nil
+}
+
+// AnswerBatch implements Server. On a sharded store the batch is evaluated
+// by all shards in parallel; the responses are nevertheless exactly the
+// sequential Answer responses, in order.
+func (l *Local) AnswerBatch(qs []dataspace.Query) ([]Result, error) {
+	valid := len(qs)
+	var verr error
+	for i, q := range qs {
+		if q.Schema() != l.store.Schema() {
+			if err := q.Validate(); err != nil {
+				valid, verr = i, fmt.Errorf("hiddendb: invalid query: %w", err)
+				break
+			}
+		}
 	}
-	return Result{Tuples: dataspace.Bag(got)}, nil
+	got := l.store.SelectBatch(qs[:valid], l.k)
+	out := make([]Result, len(got))
+	for i, g := range got {
+		out[i] = l.result(g)
+	}
+	return out, verr
+}
+
+func (l *Local) result(got []dataspace.Tuple) Result {
+	if len(got) > l.k {
+		return Result{Tuples: dataspace.Bag(got[:l.k]), Overflow: true}
+	}
+	return Result{Tuples: dataspace.Bag(got)}
 }
 
 // K implements Server.
@@ -105,16 +213,27 @@ func (l *Local) Schema() *dataspace.Schema { return l.store.Schema() }
 // hidden server would not expose this; it exists for experiments and tests.
 func (l *Local) Size() int { return l.store.Size() }
 
+// Shards returns the number of priority-range shards backing the server
+// (1 for an unsharded store).
+func (l *Local) Shards() int {
+	if s, ok := l.store.(*index.Sharded); ok {
+		return s.NumShards()
+	}
+	return 1
+}
+
 // Dump returns the ground-truth bag (priority order). Test/measurement only.
 func (l *Local) Dump() dataspace.Bag { return dataspace.Bag(l.store.All()) }
 
 // Counting wraps a Server and counts the queries that actually reach it.
-// This is the paper's cost metric.
+// This is the paper's cost metric. Safe for concurrent use: the counters
+// are atomics, so concurrent crawls over one server never serialize on a
+// statistics lock.
 type Counting struct {
 	inner    Server
-	queries  int
-	resolved int
-	overflow int
+	queries  atomic.Int64
+	resolved atomic.Int64
+	overflow atomic.Int64
 }
 
 // NewCounting wraps srv with a fresh counter.
@@ -126,13 +245,27 @@ func (c *Counting) Answer(q dataspace.Query) (Result, error) {
 	if err != nil {
 		return res, err
 	}
-	c.queries++
-	if res.Overflow {
-		c.overflow++
-	} else {
-		c.resolved++
-	}
+	c.note(res)
 	return res, nil
+}
+
+// AnswerBatch implements Server; a batch counts as len(results) queries,
+// exactly as the sequential contract requires.
+func (c *Counting) AnswerBatch(qs []dataspace.Query) ([]Result, error) {
+	results, err := c.inner.AnswerBatch(qs)
+	for _, res := range results {
+		c.note(res)
+	}
+	return results, err
+}
+
+func (c *Counting) note(res Result) {
+	c.queries.Add(1)
+	if res.Overflow {
+		c.overflow.Add(1)
+	} else {
+		c.resolved.Add(1)
+	}
 }
 
 // K implements Server.
@@ -142,16 +275,31 @@ func (c *Counting) K() int { return c.inner.K() }
 func (c *Counting) Schema() *dataspace.Schema { return c.inner.Schema() }
 
 // Queries returns the number of queries issued so far.
-func (c *Counting) Queries() int { return c.queries }
+func (c *Counting) Queries() int { return int(c.queries.Load()) }
 
 // Resolved returns how many of the issued queries resolved.
-func (c *Counting) Resolved() int { return c.resolved }
+func (c *Counting) Resolved() int { return int(c.resolved.Load()) }
 
 // Overflowed returns how many of the issued queries overflowed.
-func (c *Counting) Overflowed() int { return c.overflow }
+func (c *Counting) Overflowed() int { return int(c.overflow.Load()) }
 
 // Reset zeroes the counters.
-func (c *Counting) Reset() { c.queries, c.resolved, c.overflow = 0, 0, 0 }
+func (c *Counting) Reset() {
+	c.queries.Store(0)
+	c.resolved.Store(0)
+	c.overflow.Store(0)
+}
+
+// cacheShards is the number of lock-scoped segments of Caching's memo
+// table. A power of two so the shard pick is a mask, sized to make lock
+// collisions rare at the parallelism this package targets.
+const cacheShards = 16
+
+// cacheShard is one lock-scoped segment of the memo table.
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[string]Result
+}
 
 // Caching wraps a Server and memoizes responses by canonical query key.
 // A repeated query is answered from the cache and does not count against the
@@ -159,37 +307,173 @@ func (c *Counting) Reset() { c.queries, c.resolved, c.overflow = 0, 0, 0 }
 // query many times while paying for it once.
 //
 // The memo key is the compact binary encoding of Query.AppendKey, built
-// into a buffer reused across calls: a cache hit performs no allocation at
-// all (the map lookup is a zero-copy string conversion), and a miss pays
-// one key-string allocation when the entry is stored. Caching is not safe
-// for concurrent use; the parallel crawler has its own singleflight memo.
+// into a pool-recycled buffer: a cache hit performs no allocation at all
+// (the map lookup is a zero-copy string conversion), and a miss pays one
+// key-string allocation when the entry is stored. The table is split into
+// lock-scoped shards and the hit/miss counters are atomics, so Caching is
+// safe for concurrent use — many workers (or one batched dispatcher) can
+// share a memo without serializing on a single lock.
 type Caching struct {
 	inner  Server
-	cache  map[string]Result
-	keyBuf []byte
-	hits   int
-	misses int
+	shards [cacheShards]cacheShard
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 // NewCaching wraps srv with an empty memo table.
 func NewCaching(srv Server) *Caching {
-	return &Caching{inner: srv, cache: make(map[string]Result)}
+	c := &Caching{inner: srv}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]Result)
+	}
+	return c
+}
+
+// keyBufPool recycles AppendKey buffers so cache hits allocate nothing even
+// under concurrent use (a per-Caching buffer would need its own lock).
+var keyBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// shardFor picks the lock-scoped segment for a key (FNV-1a).
+func (c *Caching) shardFor(key []byte) *cacheShard {
+	h := uint32(2166136261)
+	for _, b := range key {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	return &c.shards[h&(cacheShards-1)]
+}
+
+func (c *Caching) lookup(key []byte) (Result, bool) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	res, ok := sh.m[string(key)] // zero-copy lookup
+	sh.mu.Unlock()
+	return res, ok
+}
+
+func (c *Caching) store(key []byte, res Result) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	if _, ok := sh.m[string(key)]; !ok {
+		sh.m[string(key)] = res
+	}
+	sh.mu.Unlock()
 }
 
 // Answer implements Server with memoization.
 func (c *Caching) Answer(q dataspace.Query) (Result, error) {
-	c.keyBuf = q.AppendKey(c.keyBuf[:0])
-	if res, ok := c.cache[string(c.keyBuf)]; ok {
-		c.hits++
+	bufp := keyBufPool.Get().(*[]byte)
+	key := q.AppendKey((*bufp)[:0])
+	res, ok := c.lookup(key)
+	if ok {
+		c.hits.Add(1)
+		*bufp = key[:0]
+		keyBufPool.Put(bufp)
 		return res, nil
 	}
 	res, err := c.inner.Answer(q)
-	if err != nil {
-		return res, err
+	if err == nil {
+		c.misses.Add(1)
+		c.store(key, res)
 	}
-	c.misses++
-	c.cache[string(c.keyBuf)] = res
-	return res, nil
+	*bufp = key[:0]
+	keyBufPool.Put(bufp)
+	return res, err
+}
+
+// AnswerBatch implements Server with memoization and the sequential
+// contract: cached queries are answered for free, the remaining misses are
+// forwarded to the inner server as one (deduplicated) batch, and a query
+// repeated within the batch counts as a hit — exactly as if the batch had
+// been issued query by query.
+func (c *Caching) AnswerBatch(qs []dataspace.Query) ([]Result, error) {
+	out, hits, err := MemoBatch(qs,
+		func(q dataspace.Query) (Result, bool) {
+			bufp := keyBufPool.Get().(*[]byte)
+			key := q.AppendKey((*bufp)[:0])
+			res, ok := c.lookup(key)
+			*bufp = key[:0]
+			keyBufPool.Put(bufp)
+			return res, ok
+		},
+		c.inner.AnswerBatch,
+		func(q dataspace.Query, res Result) {
+			c.misses.Add(1)
+			bufp := keyBufPool.Get().(*[]byte)
+			key := q.AppendKey((*bufp)[:0])
+			c.store(key, res)
+			*bufp = key[:0]
+			keyBufPool.Put(bufp)
+		})
+	c.hits.Add(int64(hits))
+	return out, err
+}
+
+// MemoBatch answers a batch through a memo table with the sequential
+// contract, and is the shared engine of Caching.AnswerBatch and the
+// journal wrapper's. Queries found by lookup are free; the remaining
+// distinct queries are forwarded in order as one batch (an in-batch repeat
+// rides on its first occurrence, since a sequential caller would find it
+// memoized by then); each answered miss is handed to record before results
+// are assembled. When forward fails, the answered prefix ends at the first
+// unanswered query, exactly as if the batch had been issued one by one —
+// in particular the returned hit count covers only that prefix, so memo
+// accounting never counts queries a sequential caller would not have
+// reached.
+func MemoBatch(
+	qs []dataspace.Query,
+	lookup func(dataspace.Query) (Result, bool),
+	forward func([]dataspace.Query) ([]Result, error),
+	record func(dataspace.Query, Result),
+) (results []Result, hits int, err error) {
+	out := make([]Result, len(qs))
+	// missOf[i] indexes qs[i]'s entry in the forwarded batch, -1 for a
+	// memo hit; missPos[j] is the position of miss j's first occurrence.
+	missOf := make([]int, len(qs))
+	var missPos []int
+	var missQs []dataspace.Query
+	seen := make(map[string]int)
+	for i, q := range qs {
+		if res, ok := lookup(q); ok {
+			out[i] = res
+			missOf[i] = -1
+			continue
+		}
+		key := q.Key()
+		if j, ok := seen[key]; ok {
+			missOf[i] = j
+			continue
+		}
+		seen[key] = len(missQs)
+		missOf[i] = len(missQs)
+		missPos = append(missPos, i)
+		missQs = append(missQs, q)
+	}
+	var missRes []Result
+	if len(missQs) > 0 {
+		missRes, err = forward(missQs)
+		for j, res := range missRes {
+			record(missQs[j], res)
+		}
+	}
+	for i := range qs {
+		j := missOf[i]
+		if j >= 0 && j >= len(missRes) {
+			// First unanswered miss (or a repeat of one): the sequential
+			// prefix ends here; later queries were never issued, so their
+			// hits are not counted.
+			return out[:i], hits, err
+		}
+		if j >= 0 {
+			out[i] = missRes[j]
+			if missPos[j] != i {
+				hits++ // in-batch repeat of an answered miss
+			}
+		} else {
+			hits++ // memo hit
+		}
+	}
+	return out, hits, err
 }
 
 // K implements Server.
@@ -199,12 +483,12 @@ func (c *Caching) K() int { return c.inner.K() }
 func (c *Caching) Schema() *dataspace.Schema { return c.inner.Schema() }
 
 // Hits returns how many queries were served from the cache.
-func (c *Caching) Hits() int { return c.hits }
+func (c *Caching) Hits() int { return int(c.hits.Load()) }
 
 // Misses returns how many queries fell through to the inner server (and
 // were then memoized). Hits() + Misses() is the number of successfully
 // answered queries.
-func (c *Caching) Misses() int { return c.misses }
+func (c *Caching) Misses() int { return int(c.misses.Load()) }
 
 // Quota wraps a Server and fails with ErrQuotaExceeded after budget
 // queries, modelling per-IP limits of real sites ("most systems have a
@@ -234,6 +518,42 @@ func (q *Quota) Answer(query dataspace.Query) (Result, error) {
 	return q.inner.Answer(query)
 }
 
+// AnswerBatch implements Server with sequential debiting semantics: the
+// batch is admitted up to the remaining budget, the admitted prefix is
+// answered, and a batch cut short by the budget returns the answered prefix
+// plus ErrQuotaExceeded — exactly what a sequential caller would observe.
+func (q *Quota) AnswerBatch(qs []dataspace.Query) ([]Result, error) {
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	q.mu.Lock()
+	allowed := q.budget - q.used
+	if allowed <= 0 {
+		q.mu.Unlock()
+		return nil, ErrQuotaExceeded
+	}
+	if allowed > len(qs) {
+		allowed = len(qs)
+	}
+	q.used += allowed
+	q.mu.Unlock()
+	res, err := q.inner.AnswerBatch(qs[:allowed])
+	if err != nil {
+		// As in Answer, the failing query stays debited; refund only the
+		// queries the inner server never reached.
+		if refund := allowed - len(res) - 1; refund > 0 {
+			q.mu.Lock()
+			q.used -= refund
+			q.mu.Unlock()
+		}
+		return res, err
+	}
+	if allowed < len(qs) {
+		return res, ErrQuotaExceeded
+	}
+	return res, nil
+}
+
 // K implements Server.
 func (q *Quota) K() int { return q.inner.K() }
 
@@ -250,14 +570,15 @@ func (q *Quota) Remaining() int {
 // Latency wraps a Server and sleeps for a fixed duration before answering,
 // simulating the network round-trip of a real remote hidden database. It is
 // what makes the parallel crawler's speedup measurable in tests and
-// benchmarks. Safe for concurrent use when the inner server is (Local is:
-// it is read-only after construction).
+// benchmarks. A batch pays the delay once — the whole point of batching is
+// that B queries cost one round trip. Safe for concurrent use when the
+// inner server is (Local is: it is read-only after construction).
 type Latency struct {
 	inner Server
 	delay time.Duration
 }
 
-// NewLatency wraps srv with a per-query delay.
+// NewLatency wraps srv with a per-round-trip delay.
 func NewLatency(srv Server, delay time.Duration) *Latency {
 	return &Latency{inner: srv, delay: delay}
 }
@@ -266,6 +587,13 @@ func NewLatency(srv Server, delay time.Duration) *Latency {
 func (l *Latency) Answer(q dataspace.Query) (Result, error) {
 	time.Sleep(l.delay)
 	return l.inner.Answer(q)
+}
+
+// AnswerBatch implements Server: one simulated round trip for the whole
+// batch.
+func (l *Latency) AnswerBatch(qs []dataspace.Query) ([]Result, error) {
+	time.Sleep(l.delay)
+	return l.inner.AnswerBatch(qs)
 }
 
 // K implements Server.

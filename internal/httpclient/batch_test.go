@@ -1,0 +1,145 @@
+package httpclient
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"hidb/internal/dataspace"
+	"hidb/internal/hiddendb"
+	"hidb/internal/httpserver"
+	"hidb/internal/simrand"
+)
+
+func clientBatch(sch *dataspace.Schema, n int, seed uint64) []dataspace.Query {
+	rng := simrand.New(seed)
+	qs := make([]dataspace.Query, n)
+	for i := range qs {
+		q := dataspace.UniverseQuery(sch)
+		if rng.Bool(0.5) {
+			q = q.WithValue(0, rng.IntRange(1, 4))
+		}
+		if rng.Bool(0.5) {
+			q = q.WithValue(1, rng.IntRange(1, 9))
+		}
+		if rng.Bool(0.7) {
+			lo := rng.IntRange(0, 4500)
+			q = q.WithRange(2, lo, lo+rng.IntRange(0, 500))
+		}
+		qs[i] = q
+	}
+	return qs
+}
+
+// TestAnswerBatchMatchesAnswer: one /batch round trip returns exactly what
+// N /query round trips do.
+func TestAnswerBatchMatchesAnswer(t *testing.T) {
+	ds := mixedDataset(t, 800)
+	ts, _ := startServer(t, ds, 16, 0)
+	c, err := Dial(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := clientBatch(c.Schema(), 20, 61)
+	want := make([]hiddendb.Result, len(qs))
+	for i, q := range qs {
+		want[i], err = c.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := c.AnswerBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(qs) {
+		t.Fatalf("batch answered %d of %d", len(got), len(qs))
+	}
+	for i := range got {
+		if got[i].Overflow != want[i].Overflow || len(got[i].Tuples) != len(want[i].Tuples) {
+			t.Fatalf("batch result %d diverges from single round trips", i)
+		}
+		for j := range got[i].Tuples {
+			if !got[i].Tuples[j].Equal(want[i].Tuples[j]) {
+				t.Fatalf("batch result %d tuple %d differs", i, j)
+			}
+		}
+	}
+	// An empty batch never touches the network.
+	if res, err := c.AnswerBatch(nil); err != nil || len(res) != 0 {
+		t.Fatalf("empty batch: %v %d", err, len(res))
+	}
+}
+
+// TestAnswerBatchQuotaPrefix: a server-side quota cuts the batch to the
+// affordable prefix and surfaces the typed error.
+func TestAnswerBatchQuotaPrefix(t *testing.T) {
+	ds := mixedDataset(t, 500)
+	ts, _ := startServer(t, ds, 16, 6)
+	c, err := Dial(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := clientBatch(c.Schema(), 10, 63)
+	res, err := c.AnswerBatch(qs)
+	if !errors.Is(err, hiddendb.ErrQuotaExceeded) {
+		t.Fatalf("err = %v, want ErrQuotaExceeded", err)
+	}
+	if len(res) != 6 {
+		t.Fatalf("answered %d queries, want the 6-query budget", len(res))
+	}
+	// Spent budget: the next batch fails outright with the typed error.
+	if _, err := c.AnswerBatch(qs[:2]); !errors.Is(err, hiddendb.ErrQuotaExceeded) {
+		t.Fatalf("post-budget batch err = %v", err)
+	}
+}
+
+// TestAnswerBatchFallsBackOn404: against a pre-batching server the client
+// degrades to per-query round trips, preserving the contract.
+func TestAnswerBatchFallsBackOn404(t *testing.T) {
+	ds := mixedDataset(t, 300)
+	local, err := hiddendb.NewLocal(ds.Schema, ds.Tuples, 16, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modern := httpserver.New(local)
+	// legacy proxies /schema and /query but pretends /batch doesn't exist.
+	batchProbes := 0
+	legacy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/batch" {
+			batchProbes++
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		}
+		modern.ServeHTTP(w, r)
+	}))
+	defer legacy.Close()
+
+	c, err := Dial(legacy.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := clientBatch(c.Schema(), 8, 65)
+	res, err := c.AnswerBatch(qs)
+	if err != nil {
+		t.Fatalf("fallback batch: %v", err)
+	}
+	if len(res) != len(qs) {
+		t.Fatalf("fallback answered %d of %d", len(res), len(qs))
+	}
+	for i, q := range qs {
+		want, _ := c.Answer(q)
+		if res[i].Overflow != want.Overflow || len(res[i].Tuples) != len(want.Tuples) {
+			t.Fatalf("fallback result %d differs", i)
+		}
+	}
+	// The 404 is remembered: later batches go straight to per-query
+	// round trips instead of re-probing /batch every time.
+	if _, err := c.AnswerBatch(qs[:3]); err != nil {
+		t.Fatal(err)
+	}
+	if batchProbes != 1 {
+		t.Fatalf("/batch probed %d times across two batches, want 1", batchProbes)
+	}
+}

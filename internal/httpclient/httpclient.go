@@ -1,8 +1,11 @@
 // Package httpclient implements hiddendb.Server over the HTTP wire
 // protocol of internal/httpserver, so every crawling algorithm can run
 // unmodified against a remote hidden database: Dial fetches the search
-// form's schema once, and each Answer call is one POST /query round-trip —
-// keeping the crawler's query count equal to the server's.
+// form's schema once, each Answer call is one POST /query round-trip, and
+// AnswerBatch packs B queries into one POST /batch round-trip — keeping the
+// crawler's query count equal to the server's while dividing the network
+// cost by the batch size. Against a pre-batching server whose /batch
+// returns 404, AnswerBatch transparently falls back to per-query requests.
 package httpclient
 
 import (
@@ -11,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
 
 	"hidb/internal/dataspace"
 	"hidb/internal/hiddendb"
@@ -23,6 +27,9 @@ type Client struct {
 	http   *http.Client
 	schema *dataspace.Schema
 	k      int
+	// legacyBatch records a 404 from /batch so a pre-batching server pays
+	// the probe round trip once, not once per batch.
+	legacyBatch atomic.Bool
 }
 
 // Dial fetches the remote schema and returns a ready client. baseURL is the
@@ -76,6 +83,69 @@ func (c *Client) Answer(q dataspace.Query) (hiddendb.Result, error) {
 		return hiddendb.Result{}, fmt.Errorf("httpclient: decoding result: %w", err)
 	}
 	return wire.DecodeResult(c.schema, msg)
+}
+
+// AnswerBatch implements hiddendb.Server with one POST /batch round-trip.
+// The server answers the batch exactly as if the queries had been issued
+// sequentially; a batch cut short by the server's quota returns the
+// answered prefix plus hiddendb.ErrQuotaExceeded. When the remote predates
+// the batch endpoint (404), the batch degrades to per-query round trips.
+func (c *Client) AnswerBatch(qs []dataspace.Query) ([]hiddendb.Result, error) {
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	if c.legacyBatch.Load() {
+		return c.answerSequentially(qs)
+	}
+	body, err := json.Marshal(wire.EncodeBatchRequest(qs))
+	if err != nil {
+		return nil, fmt.Errorf("httpclient: encoding batch: %w", err)
+	}
+	resp, err := c.http.Post(c.base+"/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("httpclient: batch round-trip: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusTooManyRequests:
+		return nil, hiddendb.ErrQuotaExceeded
+	case http.StatusNotFound:
+		// Pre-batching server: preserve the contract one query at a time,
+		// and remember so later batches skip the doomed probe.
+		c.legacyBatch.Store(true)
+		return c.answerSequentially(qs)
+	default:
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("httpclient: batch returned %s: %s", resp.Status, snippet)
+	}
+	var msg wire.BatchResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 256<<20)).Decode(&msg); err != nil {
+		return nil, fmt.Errorf("httpclient: decoding batch result: %w", err)
+	}
+	results, quotaExceeded, err := wire.DecodeBatchResponse(c.schema, msg)
+	if err != nil {
+		return nil, err
+	}
+	if quotaExceeded {
+		return results, hiddendb.ErrQuotaExceeded
+	}
+	if len(results) != len(qs) {
+		return nil, fmt.Errorf("httpclient: batch answered %d of %d queries with no quota signal", len(results), len(qs))
+	}
+	return results, nil
+}
+
+func (c *Client) answerSequentially(qs []dataspace.Query) ([]hiddendb.Result, error) {
+	out := make([]hiddendb.Result, 0, len(qs))
+	for _, q := range qs {
+		res, err := c.Answer(q)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
 }
 
 // K implements hiddendb.Server.

@@ -1,16 +1,22 @@
 // Package httpserver exposes a hiddendb.Server over HTTP, emulating a real
 // hidden database's web interface: clients learn the search form from
-// GET /schema and submit form queries via POST /query. The paper's problem
+// GET /schema and submit form queries via POST /query, or a whole batch of
+// them via POST /batch — B queries for one round trip, answered exactly as
+// if they had been submitted to /query one by one. The paper's problem
 // setup maps one-to-one onto the endpoints — a response carries at most k
 // tuples plus the overflow signal, and repeating a query returns the same
 // response.
 //
 // The handler can also enforce a per-client query quota, modelling the
-// per-IP limits that motivate the paper's cost metric.
+// per-IP limits that motivate the paper's cost metric. The quota is counted
+// in queries, not requests, so batching cannot stretch a budget: a batch
+// that would overrun the remaining budget is answered up to the budget and
+// flagged, mirroring hiddendb.Quota's sequential semantics.
 package httpserver
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -26,8 +32,11 @@ type Handler struct {
 	mu sync.Mutex
 	// queries counts the form queries served (across all clients).
 	queries int
-	// quota, when positive, caps the number of /query requests served;
-	// further requests get 429.
+	// requests counts the query-carrying HTTP round trips served (/query
+	// and /batch alike) — the denominator of the batching win.
+	requests int
+	// quota, when positive, caps the number of queries served; further
+	// requests get 429.
 	quota int
 }
 
@@ -55,6 +64,15 @@ func (h *Handler) Queries() int {
 	return h.queries
 }
 
+// Requests returns the number of query-carrying HTTP round trips served so
+// far (/query and /batch requests alike). With batching, Requests grows
+// ~B× slower than Queries.
+func (h *Handler) Requests() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.requests
+}
+
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
@@ -62,6 +80,8 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		h.handleSchema(w)
 	case r.URL.Path == "/query" && r.Method == http.MethodPost:
 		h.handleQuery(w, r)
+	case r.URL.Path == "/batch" && r.Method == http.MethodPost:
+		h.handleBatch(w, r)
 	case r.URL.Path == "/healthz" && r.Method == http.MethodGet:
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -88,6 +108,7 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	h.mu.Lock()
+	h.requests++
 	if h.quota > 0 && h.queries >= h.quota {
 		h.mu.Unlock()
 		http.Error(w, "query quota exceeded", http.StatusTooManyRequests)
@@ -98,10 +119,77 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	res, err := h.srv.Answer(q)
 	if err != nil {
+		// The query was not served: refund it, and surface a wrapped
+		// server's own budget as 429 — the same typed signal /batch gives —
+		// so the two endpoints stay interchangeable.
+		h.mu.Lock()
+		h.queries--
+		h.mu.Unlock()
+		if errors.Is(err, hiddendb.ErrQuotaExceeded) {
+			http.Error(w, "query quota exceeded", http.StatusTooManyRequests)
+			return
+		}
 		http.Error(w, "server error: "+err.Error(), http.StatusInternalServerError)
 		return
 	}
 	writeJSON(w, wire.EncodeResult(res))
+}
+
+// handleBatch answers B form queries in one round trip, with exactly the
+// per-query semantics of /query: the handler's quota admits the longest
+// affordable prefix, and a batch cut short (by the handler's quota or the
+// inner server's) reports the answered prefix plus the quotaExceeded flag.
+func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var msg wire.BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err := dec.Decode(&msg); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	qs, err := wire.DecodeBatchRequest(h.srv.Schema(), msg)
+	if err != nil {
+		http.Error(w, "bad batch: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(qs) == 0 {
+		http.Error(w, "bad batch: empty", http.StatusBadRequest)
+		return
+	}
+
+	h.mu.Lock()
+	h.requests++
+	admitted := len(qs)
+	if h.quota > 0 {
+		remaining := h.quota - h.queries
+		if remaining <= 0 {
+			h.mu.Unlock()
+			http.Error(w, "query quota exceeded", http.StatusTooManyRequests)
+			return
+		}
+		if admitted > remaining {
+			admitted = remaining
+		}
+	}
+	h.queries += admitted // reserved; unanswered queries are refunded below
+	h.mu.Unlock()
+
+	res, err := h.srv.AnswerBatch(qs[:admitted])
+	if err != nil && !errors.Is(err, hiddendb.ErrQuotaExceeded) {
+		// A 500 delivers no responses at all, so none of the admitted
+		// queries were served — refund the whole reservation.
+		h.mu.Lock()
+		h.queries -= admitted
+		h.mu.Unlock()
+		http.Error(w, "server error: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if n := admitted - len(res); n > 0 {
+		h.mu.Lock()
+		h.queries -= n
+		h.mu.Unlock()
+	}
+	quotaHit := admitted < len(qs) || errors.Is(err, hiddendb.ErrQuotaExceeded)
+	writeJSON(w, wire.EncodeBatchResponse(res, quotaHit))
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

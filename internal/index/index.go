@@ -47,7 +47,8 @@
 // numeric-range path needs its candidate ranks in rank order; instead of
 // the allocating sort.Slice of a fresh rank slice, it filters into a
 // sync.Pool-recycled scratch buffer and sorts with the allocation-free
-// slices.Sort. Count allocates nothing.
+// slices.Sort. Count allocates nothing. The scratch pool is per-Store, so
+// the shards of a Sharded store never contend on a shared pool.
 package index
 
 import (
@@ -81,6 +82,10 @@ type Store struct {
 	// rank→sorted-position permutation the intersection paths use to test
 	// range membership in O(1).
 	rankPos [][]int32
+	// scratch recycles the rank buffers of the numeric-range path. It is
+	// per-Store (not package-global) so that independent shards of a
+	// Sharded store never contend on one pool.
+	scratch sync.Pool
 }
 
 // New builds a Store over tuples already arranged in descending priority
@@ -99,6 +104,7 @@ func New(schema *dataspace.Schema, byRank []dataspace.Tuple) (*Store, error) {
 	s := &Store{
 		schema:     schema,
 		byRank:     byRank,
+		scratch:    sync.Pool{New: func() any { return new([]int32) }},
 		isCat:      make([]bool, d),
 		cols:       make([][]int64, d),
 		post:       make([]map[int64][]int32, d),
@@ -274,12 +280,10 @@ func (s *Store) choosePlan(preds []dataspace.Pred, maxCost int) plan {
 	return pl
 }
 
-// scratchPool recycles the rank buffers of the numeric-range path so a
-// steady query stream allocates nothing beyond its result slices.
-var scratchPool = sync.Pool{New: func() any { return new([]int32) }}
-
-func getScratch(capacity int) *[]int32 {
-	p := scratchPool.Get().(*[]int32)
+// getScratch returns a pooled rank buffer with at least the given capacity,
+// so a steady query stream allocates nothing beyond its result slices.
+func (s *Store) getScratch(capacity int) *[]int32 {
+	p := s.scratch.Get().(*[]int32)
 	if cap(*p) < capacity {
 		*p = make([]int32, 0, capacity)
 	}
@@ -441,7 +445,7 @@ func gallop(b []int32, lo int, target int32) int {
 // restores rank order with one allocation-free sort of a pooled buffer.
 func (s *Store) selectRange(preds []dataspace.Pred, pl plan, want int) []dataspace.Tuple {
 	seg := s.sortedRank[pl.primary][pl.from:pl.to]
-	bufp := getScratch(len(seg))
+	bufp := s.getScratch(len(seg))
 	ranks := (*bufp)[:0]
 	switch {
 	case pl.secondary < 0:
@@ -473,7 +477,19 @@ func (s *Store) selectRange(preds []dataspace.Pred, pl plan, want int) []dataspa
 		}
 	}
 	*bufp = ranks[:0]
-	scratchPool.Put(bufp)
+	s.scratch.Put(bufp)
+	return out
+}
+
+// SelectBatch answers every query of the batch with the same semantics as
+// issuing B Select calls in order: result i is exactly Select(qs[i], limit).
+// A single Store evaluates the batch sequentially; the Sharded store
+// overrides this with a per-shard parallel fan-out.
+func (s *Store) SelectBatch(qs []dataspace.Query, limit int) [][]dataspace.Tuple {
+	out := make([][]dataspace.Tuple, len(qs))
+	for i, q := range qs {
+		out[i] = s.Select(q, limit)
+	}
 	return out
 }
 

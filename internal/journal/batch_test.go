@@ -1,0 +1,112 @@
+package journal
+
+import (
+	"testing"
+
+	"hidb/internal/dataspace"
+	"hidb/internal/hiddendb"
+)
+
+// TestAnswerBatchReplaysAndRecords: journaled queries in a batch are free
+// replays, new ones reach the inner server exactly once (duplicates within
+// the batch included) and are recorded for the next session.
+func TestAnswerBatchReplaysAndRecords(t *testing.T) {
+	ds := testDataset(t)
+	local, err := hiddendb.NewLocal(ds.Schema, ds.Tuples, 16, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting := hiddendb.NewCounting(local)
+	j := New(ds.Schema, 16)
+	srv, err := Wrap(counting, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	u := dataspace.UniverseQuery(ds.Schema)
+	a := u.WithValue(0, 1)
+	b := u.WithValue(0, 2)
+	c := u.WithValue(0, 3)
+
+	// Pay for a up front.
+	if _, err := srv.Answer(a); err != nil {
+		t.Fatal(err)
+	}
+	if counting.Queries() != 1 {
+		t.Fatalf("setup issued %d queries", counting.Queries())
+	}
+
+	// Batch: one replay (a), two new (b, c), one in-batch duplicate (b).
+	res, err := srv.AnswerBatch([]dataspace.Query{a, b, c, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("answered %d of 4", len(res))
+	}
+	if counting.Queries() != 3 {
+		t.Fatalf("inner saw %d queries, want 3 (a replayed, b deduped)", counting.Queries())
+	}
+	if srv.Replays() != 2 {
+		t.Fatalf("Replays = %d, want 2 (a, and the duplicate b)", srv.Replays())
+	}
+	if j.Len() != 3 {
+		t.Fatalf("journal has %d entries, want 3", j.Len())
+	}
+	// The duplicate got the same response as its first occurrence.
+	if res[1].Overflow != res[3].Overflow || len(res[1].Tuples) != len(res[3].Tuples) {
+		t.Fatal("duplicate answered differently within the batch")
+	}
+
+	// Re-running the batch is now entirely free.
+	if _, err := srv.AnswerBatch([]dataspace.Query{a, b, c}); err != nil {
+		t.Fatal(err)
+	}
+	if counting.Queries() != 3 {
+		t.Fatalf("replayed batch reached the server: %d queries", counting.Queries())
+	}
+}
+
+// TestAnswerBatchQuotaPrefix: the journal wrapper preserves the
+// prefix-on-error contract when the inner server's budget runs out, and a
+// resumed batch replays the paid prefix for free.
+func TestAnswerBatchQuotaPrefix(t *testing.T) {
+	ds := testDataset(t)
+	local, err := hiddendb.NewLocal(ds.Schema, ds.Tuples, 16, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := New(ds.Schema, 16)
+	srv, err := Wrap(hiddendb.NewQuota(local, 2), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := dataspace.UniverseQuery(ds.Schema)
+	qs := []dataspace.Query{u.WithValue(0, 1), u.WithValue(0, 2), u.WithValue(0, 3), u.WithValue(0, 4)}
+	res, err := srv.AnswerBatch(qs)
+	if err == nil {
+		t.Fatal("quota not surfaced")
+	}
+	if len(res) != 2 {
+		t.Fatalf("answered %d, want the 2-query budget", len(res))
+	}
+	if j.Len() != 2 {
+		t.Fatalf("journal recorded %d, want 2", j.Len())
+	}
+	// Fresh budget + same journal: only the unpaid queries cost anything.
+	counting := hiddendb.NewCounting(local)
+	srv2, err := Wrap(counting, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = srv2.AnswerBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("resumed batch answered %d of 4", len(res))
+	}
+	if counting.Queries() != 2 {
+		t.Fatalf("resumed batch paid %d queries, want 2", counting.Queries())
+	}
+}

@@ -276,6 +276,21 @@ func (s *Server) Answer(q dataspace.Query) (hiddendb.Result, error) {
 	return res, nil
 }
 
+// AnswerBatch implements hiddendb.Server with the sequential contract:
+// journaled queries are replayed for free, the remaining ones are forwarded
+// to the inner server as a single (deduplicated) batch and recorded. A
+// query repeated within the batch is a replay, exactly as if the batch had
+// been issued query by query.
+func (s *Server) AnswerBatch(qs []dataspace.Query) ([]hiddendb.Result, error) {
+	out, replays, err := hiddendb.MemoBatch(qs, s.journal.Lookup, s.inner.AnswerBatch, s.journal.Record)
+	if replays > 0 {
+		s.mu.Lock()
+		s.replays += replays
+		s.mu.Unlock()
+	}
+	return out, err
+}
+
 // K implements hiddendb.Server.
 func (s *Server) K() int { return s.inner.K() }
 

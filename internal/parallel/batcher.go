@@ -1,0 +1,264 @@
+package parallel
+
+import (
+	"fmt"
+	"sync"
+
+	"hidb/internal/core"
+	"hidb/internal/dataspace"
+	"hidb/internal/hiddendb"
+)
+
+// batcher is the concurrent counterpart of core's session plumbing: a
+// thread-safe memoizing, counting, filtering view of the server that packs
+// the crawl's ready queries into AnswerBatch round trips.
+//
+// Workers submit queries and block on their result; a single dispatcher
+// goroutine drains the ready queue into batches of up to maxBatch and
+// issues each batch as one asynchronous Server.AnswerBatch call. Batch
+// formation is ack-clocked, the way group commit batches log writes: a
+// query that finds the server idle departs immediately (a dependency chain
+// pays no batching delay), but while round trips are in flight, newly ready
+// queries accumulate and the batch is flushed when it fills or when a
+// round trip completes. Batches therefore grow toward the concurrency of
+// the crawl without ever idling the connection, and independent full
+// batches overlap. A worker-slot semaphore bounds the in-flight query
+// count, exactly as the per-query design's did.
+//
+// Because a batch is answered exactly as if issued sequentially, the set
+// (and count) of queries reaching the server is identical to the
+// sequential algorithm's — only the round-trip count shrinks, by roughly
+// the batch size. This replaces the earlier safeserver design, which
+// locked a semaphore and paid a full round trip per query; maxBatch = 1
+// degenerates to exactly that behaviour.
+//
+// Memoization is singleflight: when two workers need the same query (e.g.
+// the same slice query from different tree branches) only one enqueues it
+// and the other blocks on the first's result.
+type batcher struct {
+	inner    hiddendb.Server
+	opts     *core.Options
+	maxBatch int
+	reqs     chan flightReq
+	sem      chan struct{}
+	donec    chan struct{}
+	stop     chan struct{}
+
+	mu      sync.Mutex
+	flights map[string]*flight
+	// deferred holds an error the server reported alongside a fully
+	// answered batch (e.g. a remote quota signal flagged on the last
+	// affordable responses): those results were delivered, and the error
+	// fails every query after them, as it would sequentially.
+	deferred error
+	queries  int
+	resolve  int
+	overfl   int
+	skipped  int
+	tuples   int
+	curve    []core.CurvePoint
+}
+
+// flight is one in-progress or completed query.
+type flight struct {
+	done chan struct{}
+	res  hiddendb.Result
+	err  error
+}
+
+// flightReq pairs a query with the flight awaiting its response.
+type flightReq struct {
+	q dataspace.Query
+	f *flight
+}
+
+// newBatcher starts the dispatcher; the caller must close() it after the
+// crawl's last Answer has returned. workers bounds the in-flight query
+// count; a batch is wholly in flight while its round trip runs, so
+// maxBatch is clamped to workers.
+func newBatcher(inner hiddendb.Server, workers, maxBatch int, opts *core.Options) *batcher {
+	if workers < 1 {
+		workers = 1
+	}
+	if maxBatch < 1 || maxBatch > workers {
+		maxBatch = workers
+	}
+	b := &batcher{
+		inner:    inner,
+		opts:     opts,
+		maxBatch: maxBatch,
+		reqs:     make(chan flightReq, maxBatch),
+		sem:      make(chan struct{}, workers),
+		// Buffered to the in-flight bound (each in-flight batch holds at
+		// least one slot), so completion signals never block the issuing
+		// goroutine even when the dispatcher is stalled on the semaphore.
+		donec:   make(chan struct{}, workers),
+		stop:    make(chan struct{}),
+		flights: make(map[string]*flight),
+	}
+	go b.run()
+	return b
+}
+
+// close stops the dispatcher. Safe only once no Answer call is pending.
+func (b *batcher) close() { close(b.stop) }
+
+// Answer submits q to the dispatcher and waits for its response. Each
+// distinct query is issued at most once across all workers.
+func (b *batcher) Answer(q dataspace.Query) (hiddendb.Result, error) {
+	if b.opts.QueryFilter != nil && !b.opts.QueryFilter(q) {
+		b.mu.Lock()
+		b.skipped++
+		b.mu.Unlock()
+		return hiddendb.Result{}, nil
+	}
+	key := q.Key()
+	b.mu.Lock()
+	if f, ok := b.flights[key]; ok {
+		b.mu.Unlock()
+		<-f.done
+		return f.res, f.err
+	}
+	if err := b.deferred; err != nil {
+		b.mu.Unlock()
+		return hiddendb.Result{}, err
+	}
+	f := &flight{done: make(chan struct{})}
+	b.flights[key] = f
+	b.mu.Unlock()
+
+	b.reqs <- flightReq{q: q, f: f}
+	<-f.done
+	return f.res, f.err
+}
+
+// run is the dispatcher loop. Wait for a ready query (reaping completion
+// signals meanwhile), greedily drain whatever else is ready, then — while
+// the server is busy with earlier batches — keep collecting until the
+// batch fills or a round trip completes. Reserve one worker slot per query
+// and launch the batch without waiting for it.
+func (b *batcher) run() {
+	inflight := 0 // batches launched and not yet reaped from donec
+	for {
+		var first flightReq
+	wait:
+		for {
+			select {
+			case first = <-b.reqs:
+				break wait
+			case <-b.donec:
+				inflight--
+			case <-b.stop:
+				return
+			}
+		}
+		batch := make([]flightReq, 1, b.maxBatch)
+		batch[0] = first
+	drain:
+		for len(batch) < b.maxBatch {
+			select {
+			case r := <-b.reqs:
+				batch = append(batch, r)
+			default:
+				break drain
+			}
+		}
+		// Ack clock: an idle server gets the batch at once; a busy one
+		// buys time for the batch to grow until a completion (or a full
+		// batch) flushes it.
+	collect:
+		for inflight > 0 && len(batch) < b.maxBatch {
+			select {
+			case r := <-b.reqs:
+				batch = append(batch, r)
+			case <-b.donec:
+				inflight--
+				break collect
+			}
+		}
+		// The acquire cannot block at shutdown: stop is only closed once
+		// every Answer has returned, i.e. when no batch is pending, and
+		// the slots of in-flight batches are released independently of
+		// this loop.
+		for range batch {
+			b.sem <- struct{}{}
+		}
+		inflight++
+		go func(batch []flightReq) {
+			b.issue(batch)
+			for range batch {
+				<-b.sem
+			}
+			b.donec <- struct{}{}
+		}(batch)
+	}
+}
+
+// issue sends one batch to the server and delivers the responses. Per the
+// Server contract an error leaves results for the answered prefix only; the
+// requests beyond it all fail with the batch's error.
+func (b *batcher) issue(batch []flightReq) {
+	qs := make([]dataspace.Query, len(batch))
+	for i, r := range batch {
+		qs[i] = r.q
+	}
+	results, err := b.inner.AnswerBatch(qs)
+	if err == nil && len(results) < len(batch) {
+		err = fmt.Errorf("parallel: server answered %d of %d batched queries without an error", len(results), len(batch))
+	}
+
+	b.mu.Lock()
+	if err != nil && len(results) == len(batch) {
+		// Every query of this batch was answered; the error concerns
+		// whatever would come next (a quota flagged on the last affordable
+		// responses). Deliver the results and fail later queries instead
+		// of dropping the signal.
+		b.deferred = err
+		err = nil
+	}
+	points := make([]core.CurvePoint, len(results))
+	for i, res := range results {
+		b.queries++
+		if res.Overflow {
+			b.overfl++
+		} else {
+			b.resolve++
+		}
+		points[i] = core.CurvePoint{Queries: b.queries, Tuples: b.tuples}
+		if b.opts.CollectCurve {
+			b.curve = append(b.curve, points[i])
+		}
+	}
+	b.mu.Unlock()
+	if b.opts.OnProgress != nil {
+		for _, p := range points {
+			b.opts.OnProgress(p)
+		}
+	}
+
+	for i, r := range batch {
+		if i < len(results) {
+			r.f.res = results[i]
+		} else {
+			r.f.err = err
+		}
+		close(r.f.done)
+	}
+}
+
+// noteTuples records output growth for the progressiveness curve.
+func (b *batcher) noteTuples(n int) {
+	b.mu.Lock()
+	b.tuples += n
+	b.mu.Unlock()
+}
+
+// stats snapshots the counters for the final Result.
+func (b *batcher) stats() (queries, resolved, overflowed, skipped int, curve []core.CurvePoint) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.opts.CollectCurve && len(b.curve) > 0 {
+		b.curve[len(b.curve)-1].Tuples = b.tuples
+	}
+	return b.queries, b.resolve, b.overfl, b.skipped, b.curve
+}

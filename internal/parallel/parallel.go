@@ -8,6 +8,14 @@
 // region's fate depends only on its own response, and a singleflight memo
 // table deduplicates slice queries), so the query cost is unchanged while
 // wall-clock time divides by the worker count.
+//
+// Concurrent sub-problems do not issue their queries one at a time: ready
+// queries are drained into batches and sent through Server.AnswerBatch, so
+// B concurrently ready queries cost a single round trip. Because a batch is
+// answered exactly as if issued sequentially, this changes neither the
+// query count nor any response — only the number of round trips, which
+// shrinks by roughly the batch size (Options.BatchSize, defaulting to the
+// worker count).
 package parallel
 
 import (
@@ -23,9 +31,10 @@ import (
 // Crawler runs hybrid (and its degenerate numeric/categorical forms) with
 // up to Workers queries in flight. It implements core.Crawler.
 type Crawler struct {
-	// Workers bounds the number of concurrently in-flight server queries.
-	// Zero or one degenerates to (a threaded equivalent of) the
-	// sequential algorithm.
+	// Workers bounds the number of concurrently in-flight server queries —
+	// equivalently, the largest batch one AnswerBatch round trip may carry
+	// (unless Options.BatchSize lowers it). Zero or one degenerates to (a
+	// threaded equivalent of) the sequential algorithm.
 	Workers int
 }
 
@@ -47,8 +56,14 @@ func (c Crawler) Crawl(srv hiddendb.Server, opts *core.Options) (*core.Result, e
 	if opts == nil {
 		opts = &core.Options{}
 	}
+	maxBatch := opts.BatchSize
+	if maxBatch <= 0 {
+		maxBatch = c.workers()
+	}
+	b := newBatcher(srv, c.workers(), maxBatch, opts)
+	defer b.close()
 	p := &pool{
-		srv:    newSafeServer(srv, c.workers(), opts),
+		srv:    b,
 		schema: srv.Schema(),
 		k:      srv.K(),
 		opts:   opts,
@@ -98,7 +113,7 @@ func (c Crawler) Crawl(srv hiddendb.Server, opts *core.Options) (*core.Result, e
 
 // pool carries the shared state of one parallel crawl.
 type pool struct {
-	srv    *safeServer
+	srv    *batcher
 	schema *dataspace.Schema
 	k      int
 	opts   *core.Options

@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"errors"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
@@ -10,6 +11,8 @@ import (
 	"hidb/internal/datagen"
 	"hidb/internal/dataspace"
 	"hidb/internal/hiddendb"
+	"hidb/internal/httpclient"
+	"hidb/internal/httpserver"
 )
 
 func dataset(t *testing.T, spec datagen.RandomSpec, seed uint64) *datagen.Dataset {
@@ -195,6 +198,151 @@ func TestParallelQueryFilter(t *testing.T) {
 	}
 	if !res.Tuples.EqualMultiset(ds.Tuples) {
 		t.Fatal("filtered parallel crawl incomplete")
+	}
+}
+
+// TestBatchedCrawlReducesRoundTrips is the acceptance property of the
+// batched stack: a parallel crawl over HTTP issues the same number of
+// queries as a sequential crawl but packs them into ~B× fewer round trips.
+func TestBatchedCrawlReducesRoundTrips(t *testing.T) {
+	ds := dataset(t, specs()["mixed"], 77)
+	k := 32
+	if m := ds.Tuples.MaxMultiplicity(); m > k {
+		k = m
+	}
+	seq, err := (core.Hybrid{}).Crawl(server(t, ds, k), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	handler := httpserver.New(server(t, ds, k))
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+	client, err := httpclient.Dial(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (Crawler{Workers: 16}).Crawl(client, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Tuples.EqualMultiset(ds.Tuples) {
+		t.Fatal("batched remote crawl incomplete")
+	}
+	if res.Queries != seq.Queries {
+		t.Fatalf("batched crawl cost %d != sequential %d — batching changed the metric", res.Queries, seq.Queries)
+	}
+	if got := handler.Queries(); got != res.Queries {
+		t.Fatalf("server answered %d queries, crawler counted %d", got, res.Queries)
+	}
+	requests := handler.Requests()
+	if requests >= res.Queries/2 {
+		t.Fatalf("%d queries took %d round trips — batching is not batching", res.Queries, requests)
+	}
+	t.Logf("%d queries in %d round trips (%.1f queries/request)",
+		res.Queries, requests, float64(res.Queries)/float64(requests))
+}
+
+// TestBatchSizeDoesNotChangeCost sweeps Options.BatchSize: the query count
+// is batching-invariant, per the AnswerBatch contract.
+func TestBatchSizeDoesNotChangeCost(t *testing.T) {
+	ds := dataset(t, specs()["cat1-mixed"], 79)
+	k := 32
+	if m := ds.Tuples.MaxMultiplicity(); m > k {
+		k = m
+	}
+	seq, err := (core.Hybrid{}).Crawl(server(t, ds, k), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{1, 3, 16, 64} {
+		res, err := (Crawler{Workers: 16}).Crawl(server(t, ds, k), &core.Options{BatchSize: batch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Tuples.EqualMultiset(ds.Tuples) {
+			t.Fatalf("batch=%d: incomplete", batch)
+		}
+		if res.Queries != seq.Queries {
+			t.Fatalf("batch=%d: cost %d != sequential %d", batch, res.Queries, seq.Queries)
+		}
+	}
+}
+
+// TestShardedServerUnderParallelCrawl drives the whole tentpole stack at
+// once: a sharded Local answering batches from the parallel crawler, with
+// identical results and cost.
+func TestShardedServerUnderParallelCrawl(t *testing.T) {
+	ds := dataset(t, specs()["mixed"], 83)
+	k := 32
+	if m := ds.Tuples.MaxMultiplicity(); m > k {
+		k = m
+	}
+	seq, err := (core.Hybrid{}).Crawl(server(t, ds, k), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := hiddendb.NewLocalSharded(ds.Schema, ds.Tuples, k, 42, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (Crawler{Workers: 16}).Crawl(sharded, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Tuples.EqualMultiset(ds.Tuples) {
+		t.Fatal("crawl over sharded server incomplete")
+	}
+	if res.Queries != seq.Queries {
+		t.Fatalf("sharded cost %d != sequential %d", res.Queries, seq.Queries)
+	}
+}
+
+// flaggingServer mimics a third-party batch server that answers a whole
+// batch and reports quota exhaustion alongside the full results (instead
+// of the prefix contract this package's servers follow).
+type flaggingServer struct {
+	inner  hiddendb.Server
+	budget int
+}
+
+func (f *flaggingServer) Answer(q dataspace.Query) (hiddendb.Result, error) {
+	if f.budget <= 0 {
+		return hiddendb.Result{}, hiddendb.ErrQuotaExceeded
+	}
+	f.budget--
+	return f.inner.Answer(q)
+}
+
+func (f *flaggingServer) AnswerBatch(qs []dataspace.Query) ([]hiddendb.Result, error) {
+	out := make([]hiddendb.Result, 0, len(qs))
+	for _, q := range qs {
+		res, err := f.Answer(q)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
+	if f.budget == 0 {
+		// Full results plus the error — the shape the batcher must not
+		// drop on the floor.
+		return out, hiddendb.ErrQuotaExceeded
+	}
+	return out, nil
+}
+
+func (f *flaggingServer) K() int                    { return f.inner.K() }
+func (f *flaggingServer) Schema() *dataspace.Schema { return f.inner.Schema() }
+
+// TestBatchErrorWithFullResultsNotDropped: a quota signal attached to a
+// fully answered batch must still abort the crawl (deferred to the next
+// query) rather than vanish.
+func TestBatchErrorWithFullResultsNotDropped(t *testing.T) {
+	ds := dataset(t, specs()["mixed"], 19)
+	srv := &flaggingServer{inner: server(t, ds, 16), budget: 10}
+	_, err := (Crawler{Workers: 8}).Crawl(srv, nil)
+	if !errors.Is(err, hiddendb.ErrQuotaExceeded) {
+		t.Fatalf("err = %v, want ErrQuotaExceeded", err)
 	}
 }
 

@@ -5,10 +5,16 @@
 // measure (ns/op, B/op, allocs/op) for each benchmark — one snapshot of the
 // perf trajectory per PR (BENCH_1.json, BENCH_2.json, ...).
 //
+// With -baseline it also diffs the fresh snapshot against a previous one:
+// every custom "*_queries" metric — the paper's cost measure, which must be
+// bit-stable across engine changes — has to match the baseline exactly, or
+// the command fails listing the drift. Perf metrics (ns/op, B/op) are
+// expected to move and are not compared.
+//
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem -benchtime 1x ./... | tee bench.out
-//	go run ./scripts/benchjson -in bench.out -out BENCH_1.json
+//	go run ./scripts/benchjson -in bench.out -out BENCH_2.json -baseline BENCH_1.json
 package main
 
 import (
@@ -35,6 +41,7 @@ type Benchmark struct {
 func main() {
 	in := flag.String("in", "bench.out", "benchmark output to parse")
 	out := flag.String("out", "BENCH_1.json", "JSON file to write")
+	baseline := flag.String("baseline", "", "previous snapshot to compare *_queries metrics against (skipped if absent)")
 	flag.Parse()
 
 	f, err := os.Open(*in)
@@ -68,6 +75,91 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(benches), *out)
+
+	if *baseline != "" {
+		if err := compareQueries(benches, *baseline); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// compareQueries verifies that every "*_queries" metric of the fresh run
+// matches the baseline snapshot bit for bit. Benchmarks or metrics present
+// on only one side are ignored (figures come and go across PRs); a value
+// that exists on both sides and differs is a cost regression.
+func compareQueries(benches []Benchmark, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Printf("benchjson: baseline %s not found, comparison skipped\n", path)
+			return nil
+		}
+		return err
+	}
+	var doc struct {
+		Benchmarks []Benchmark `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	base := make(map[string]map[string]float64, len(doc.Benchmarks))
+	for _, b := range doc.Benchmarks {
+		base[b.Name] = b.Metrics
+	}
+	fresh := make(map[string]map[string]float64, len(benches))
+	for _, b := range benches {
+		fresh[b.Name] = b.Metrics
+	}
+	compared, drifted, missing := 0, 0, 0
+	for _, b := range benches {
+		old, ok := base[b.Name]
+		if !ok {
+			continue
+		}
+		for unit, v := range b.Metrics {
+			if !strings.HasSuffix(unit, "_queries") {
+				continue
+			}
+			want, ok := old[unit]
+			if !ok {
+				continue
+			}
+			compared++
+			if v != want {
+				drifted++
+				fmt.Fprintf(os.Stderr, "benchjson: %s %s = %v, baseline %v\n", b.Name, unit, v, want)
+			}
+		}
+	}
+	// A baseline cost metric that vanished from the fresh run (a point gone
+	// unsolvable, a renamed series) is not a silent pass: it is reported
+	// loudly so a lost figure point cannot hide behind "all match". It is a
+	// warning, not a failure, because series do legitimately come and go
+	// across PRs.
+	for name, old := range base {
+		cur, ok := fresh[name]
+		if !ok {
+			continue
+		}
+		for unit := range old {
+			if !strings.HasSuffix(unit, "_queries") {
+				continue
+			}
+			if _, ok := cur[unit]; !ok {
+				missing++
+				fmt.Fprintf(os.Stderr, "benchjson: warning: baseline metric %s %s absent from this run\n", name, unit)
+			}
+		}
+	}
+	if drifted > 0 {
+		return fmt.Errorf("%d of %d query-count metrics drifted from %s", drifted, compared, path)
+	}
+	if missing > 0 {
+		fmt.Printf("benchjson: %d query-count metrics match %s (%d baseline metrics absent — see warnings)\n", compared, path, missing)
+	} else {
+		fmt.Printf("benchjson: %d query-count metrics match %s\n", compared, path)
+	}
+	return nil
 }
 
 // parseLine parses "BenchmarkX-8  1  123 ns/op  4 B/op  ..." lines: the
