@@ -7,9 +7,9 @@ BENCH_OUT ?= bench.out
 BENCH_JSON ?= BENCH_2.json
 BENCH_BASELINE ?= BENCH_1.json
 
-.PHONY: all build check test bench clean
+.PHONY: all build check test race bench clean
 
-all: build check test
+all: build check test race
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,12 @@ check:
 # Tier-1 verification: everything must build and every test must pass.
 test: build
 	$(GO) test ./...
+
+# race runs the whole suite under the race detector — the concurrent
+# session table, sharded store fan-out, and batching dispatcher all carry
+# lock-discipline invariants that only -race can check.
+race: build
+	$(GO) test -race ./...
 
 # bench runs the full benchmark suite — the figure/theorem harness (whose
 # custom metrics are the paper's query counts) plus the index engine's

@@ -9,6 +9,8 @@
 //	hidb-server -dataset yahoo -k 1000 -addr :8080
 //	hidb-server -dataset nsf -k 256 -quota 50000
 //	hidb-server -dataset yahoo -shards 8      # priority-range-sharded store
+//	hidb-server -dataset adult -quota-per-client 20000 -session-ttl 24h \
+//	    -journal-dir ./journals               # per-client sessions
 //
 // With -shards N the store is partitioned into N priority-rank ranges and a
 // /batch request fans out across the shards in parallel (each shard with
@@ -16,21 +18,37 @@
 // batched crawls from one process. Responses are bit-identical to the
 // unsharded store.
 //
+// Any of -quota-per-client, -session-ttl or -journal-dir switches the
+// server to per-client sessions: each API token (Authorization: Bearer)
+// gets its own quota, memo and journal over the shared store; GET /stats
+// reports per-session and aggregate counters; and POST /crawl runs the
+// optimal crawl server-side, streaming (tuple, paid-queries) progress as
+// NDJSON. -session-ttl is the budget window (an idle session expires and
+// the token's next request starts a fresh budget), and -journal-dir makes
+// crawls resumable across windows: an evicted session's journal is
+// persisted — also on shutdown — and reloaded when its token returns, so
+// already-paid queries replay for free. The global -quota is mutually
+// exclusive with session mode.
+//
 // Crawl it with `hidb-crawl -url http://localhost:8080` (add -workers N to
 // crawl with batches of up to N queries per round trip).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"time"
 
 	"hidb"
 	"hidb/internal/datagen"
 	"hidb/internal/httpserver"
+	"hidb/internal/session"
 	"hidb/internal/tableload"
 )
 
@@ -61,9 +79,19 @@ func main() {
 	seed := flag.Uint64("seed", 11, "dataset generator seed")
 	prioritySeed := flag.Uint64("priority-seed", 42, "tuple priority permutation seed")
 	addr := flag.String("addr", ":8080", "listen address")
-	quota := flag.Int("quota", 0, "max queries served (0 = unlimited)")
+	quota := flag.Int("quota", 0, "global max queries served (0 = unlimited; exclusive with per-client sessions)")
 	shards := flag.Int("shards", 1, "priority-range shards of the store (>1 answers /batch with a parallel fan-out)")
+	quotaPerClient := flag.Int("quota-per-client", 0, "per-token query budget per session window (0 = unlimited; enables sessions)")
+	sessionTTL := flag.Duration("session-ttl", 0, "idle session expiry — the budget window (0 = never; enables sessions)")
+	journalDir := flag.String("journal-dir", "", "persist each session's journal here on eviction/shutdown, reload on reconnect (enables sessions)")
+	maxSessions := flag.Int("max-sessions", 0, "live session cap, LRU-evicted beyond it (0 = default)")
 	flag.Parse()
+
+	sessions := *quotaPerClient > 0 || *sessionTTL > 0 || *journalDir != "" || *maxSessions > 0
+	if sessions && *quota > 0 {
+		log.Print("-quota is the sessionless global budget; with sessions use -quota-per-client")
+		os.Exit(2)
+	}
 
 	var ds *datagen.Dataset
 	var err error
@@ -88,20 +116,53 @@ func main() {
 	}
 
 	var opts []httpserver.Option
-	if *quota > 0 {
+	if sessions {
+		opts = append(opts, httpserver.WithSessions(session.Config{
+			Quota:       *quotaPerClient,
+			TTL:         *sessionTTL,
+			MaxSessions: *maxSessions,
+			JournalDir:  *journalDir,
+		}))
+	} else if *quota > 0 {
 		opts = append(opts, httpserver.WithQuota(*quota))
 	}
 	handler := httpserver.New(srv, opts...)
 
-	log.Printf("serving %s (n=%d, k=%d, max duplicates=%d, shards=%d) on %s",
-		ds.Name, ds.N(), *k, ds.Tuples.MaxMultiplicity(), srv.Shards(), *addr)
+	mode := "global"
+	if sessions {
+		mode = "per-client"
+	}
+	log.Printf("serving %s (n=%d, k=%d, max duplicates=%d, shards=%d, quota mode=%s) on %s",
+		ds.Name, ds.N(), *k, ds.Tuples.MaxMultiplicity(), srv.Shards(), mode, *addr)
 	server := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	if err := server.ListenAndServe(); err != nil {
+
+	// A clean shutdown persists live sessions' journals, so resumable
+	// crawls survive a server restart, not just an eviction.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- server.ListenAndServe() }()
+	select {
+	case err := <-errc:
 		log.Print(err)
 		os.Exit(1)
+	case <-ctx.Done():
+		stop()
+		log.Print("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := server.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("shutdown: %v", err)
+		}
+		if tbl := handler.Sessions(); tbl != nil {
+			if err := tbl.Close(); err != nil {
+				log.Printf("persisting session journals: %v", err)
+				os.Exit(1)
+			}
+		}
 	}
 }

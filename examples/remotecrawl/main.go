@@ -1,7 +1,15 @@
 // Remotecrawl: crawl a hidden database over HTTP, end to end. The example
-// starts a hidden-database server on localhost (the census-like workload
-// behind a form interface), dials it like any remote site, and runs the
-// optimal crawler across the wire — every query is a real HTTP round-trip.
+// starts a per-session hidden-database server on localhost (the census-like
+// workload behind a form interface), dials it like any remote site with two
+// distinct API tokens, and extracts the database both ways:
+//
+//   - alice crawls across the wire — every query a real HTTP round trip;
+//   - bob asks the server to crawl for him via the streaming /crawl
+//     endpoint: one round trip, tuples arriving as NDJSON progress lines.
+//
+// Each token draws on its own quota and journal, so the two crawls never
+// touch each other's budgets — and both pay exactly the paper's query
+// cost.
 //
 // Run with:
 //
@@ -20,7 +28,8 @@ import (
 
 func main() {
 	// Serving side: a census-like hidden database (mixed schema, 45,222
-	// tuples), k=1000, behind the library's HTTP handler.
+	// tuples), k=1000, behind the library's per-session HTTP handler —
+	// every client token gets its own query budget over the shared store.
 	ds := hidb.AdultLike(11)
 	local, err := hidb.NewLocalServer(ds.Schema, ds.Tuples, 1000, 42)
 	if err != nil {
@@ -30,34 +39,55 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	server := &http.Server{Handler: hidb.NewHTTPHandler(local, 0)}
+	handler := hidb.NewSessionHTTPHandler(local, hidb.SessionConfig{Quota: 10000})
+	server := &http.Server{Handler: handler}
 	go server.Serve(ln)
 	defer server.Close()
 	base := "http://" + ln.Addr().String()
 	fmt.Printf("serving %s (n=%d, k=%d) at %s\n", ds.Name, ds.N(), local.K(), base)
 
-	// Crawling side: discover the form schema, then extract everything.
-	remote, err := hidb.DialHTTP(base, nil)
+	// Client one: alice discovers the form schema and runs the optimal
+	// crawler across the wire — every query is an HTTP round trip against
+	// her own session's budget.
+	alice, err := hidb.DialHTTPToken(base, "alice", nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("discovered schema: %s\n\n", remote.Schema())
+	fmt.Printf("discovered schema: %s\n\n", alice.Schema())
 
 	start := time.Now()
-	res, err := hidb.Crawl(remote, nil)
+	res, err := hidb.Crawl(alice, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("extracted %d tuples in %d HTTP queries (%v)\n",
+	fmt.Printf("alice (client-side crawl): %d tuples in %d HTTP queries (%v)\n",
 		len(res.Tuples), res.Queries, time.Since(start).Round(time.Millisecond))
-	fmt.Printf("complete: %v\n", res.Tuples.EqualMultiset(ds.Tuples))
+	fmt.Printf("complete: %v\n\n", res.Tuples.EqualMultiset(ds.Tuples))
 
-	// The remote crawl costs exactly as many queries as an in-process one:
-	// the algorithms never depend on where the server lives.
+	// Client two: bob hands the work to the server — POST /crawl streams
+	// every extracted tuple with his session's paid query count, all in a
+	// single round trip. His budget is untouched by alice's crawl.
+	bob, err := hidb.DialHTTPToken(base, "bob", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start = time.Now()
+	events := 0
+	stream, err := bob.Crawl("", func(ev hidb.RemoteCrawlEvent) { events++ })
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bob (streaming /crawl): %d tuples in %d server-side queries (%v, %d stream events)\n",
+		len(stream.Tuples), stream.Queries, time.Since(start).Round(time.Millisecond), events)
+	fmt.Printf("complete: %v\n\n", stream.Tuples.EqualMultiset(ds.Tuples))
+
+	// Both clients paid exactly the in-process reference cost: the
+	// algorithms never depend on where the server lives — or on who else
+	// is crawling it.
 	inproc, err := hidb.Crawl(local, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("in-process reference: %d queries (equal: %v)\n",
-		inproc.Queries, inproc.Queries == res.Queries)
+	fmt.Printf("in-process reference: %d queries (alice equal: %v, bob equal: %v)\n",
+		inproc.Queries, inproc.Queries == res.Queries, inproc.Queries == stream.Queries)
 }

@@ -54,6 +54,8 @@ import (
 	"hidb/internal/httpserver"
 	"hidb/internal/journal"
 	"hidb/internal/parallel"
+	"hidb/internal/session"
+	"hidb/internal/wire"
 )
 
 // Core data-space types. See the dataspace package for full documentation.
@@ -190,11 +192,46 @@ func NewHTTPHandler(srv Server, quota int) http.Handler {
 	return httpserver.New(srv)
 }
 
+// SessionConfig tunes per-client HTTP sessions: each API token's query
+// budget, the TTL of the budget window, the live-session cap, and the
+// directory journals persist to across evictions (see the session
+// package).
+type SessionConfig = session.Config
+
+// NewSessionHTTPHandler exposes a Server over HTTP with per-client
+// sessions: every request resolves through the caller's token-keyed
+// session (Authorization: Bearer), so quotas, journals and query counters
+// are per-client, GET /stats reports them, and POST /crawl streams a
+// server-side crawl of the caller's session as NDJSON.
+func NewSessionHTTPHandler(srv Server, cfg SessionConfig) http.Handler {
+	return httpserver.New(srv, httpserver.WithSessions(cfg))
+}
+
 // DialHTTP connects to a remote hidden database served by NewHTTPHandler
 // and returns it as a Server every algorithm can crawl. A nil httpClient
 // uses http.DefaultClient.
 func DialHTTP(baseURL string, httpClient *http.Client) (Server, error) {
 	return httpclient.Dial(baseURL, httpClient)
+}
+
+// RemoteClient is the concrete HTTP client: a Server (Answer/AnswerBatch
+// round trips) that can also consume the server-side streaming /crawl
+// endpoint via its Crawl method.
+type RemoteClient = httpclient.Client
+
+// RemoteCrawlEvent is one NDJSON line of the /crawl progress stream.
+type RemoteCrawlEvent = wire.CrawlEvent
+
+// RemoteCrawlResult is the outcome of a server-side streaming crawl.
+type RemoteCrawlResult = httpclient.CrawlResult
+
+// DialHTTPToken connects like DialHTTP but identifies the client with an
+// API token (sent as "Authorization: Bearer" on every request): against a
+// per-session server, quota, journal and query counters are then private
+// to this client. The concrete client is returned so its Crawl method —
+// the streaming server-side crawl — is reachable.
+func DialHTTPToken(baseURL, token string, httpClient *http.Client) (*RemoteClient, error) {
+	return httpclient.DialToken(baseURL, token, httpClient)
 }
 
 // ParallelCrawler returns a crawler that keeps up to workers queries in

@@ -49,6 +49,13 @@ type Options struct {
 	// OnProgress, when non-nil, is invoked after every query that reaches
 	// the server with the running totals.
 	OnProgress func(CurvePoint)
+	// OnTuples, when non-nil, is invoked with each chunk of newly
+	// extracted tuples, in output order: the concatenation of all chunks
+	// is exactly Result.Tuples. It is what lets a server stream a crawl's
+	// output incrementally instead of buffering the whole bag. The chunk
+	// is read-only and only valid during the call. With the parallel
+	// crawler the callback must be safe for concurrent invocation.
+	OnTuples func(dataspace.Bag)
 	// QueryFilter, when non-nil, implements the attribute-dependency
 	// heuristic of §1.3: a query for which it returns false is assumed to
 	// cover no valid point and is skipped (treated as resolved and empty)
@@ -162,14 +169,21 @@ func (s *session) issue(q dataspace.Query) (hiddendb.Result, error) {
 // emit appends fully-extracted tuples to the output bag.
 func (s *session) emit(tuples dataspace.Bag) {
 	s.out = append(s.out, tuples...)
+	if s.opts.OnTuples != nil && len(tuples) > 0 {
+		s.opts.OnTuples(tuples)
+	}
 }
 
 // emitMatching appends the subset of tuples covered by q.
 func (s *session) emitMatching(tuples dataspace.Bag, q dataspace.Query) {
+	start := len(s.out)
 	for _, t := range tuples {
 		if q.Covers(t) {
 			s.out = append(s.out, t)
 		}
+	}
+	if s.opts.OnTuples != nil && len(s.out) > start {
+		s.opts.OnTuples(s.out[start:len(s.out):len(s.out)])
 	}
 }
 

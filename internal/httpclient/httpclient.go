@@ -6,11 +6,20 @@
 // crawler's query count equal to the server's while dividing the network
 // cost by the batch size. Against a pre-batching server whose /batch
 // returns 404, AnswerBatch transparently falls back to per-query requests.
+//
+// DialToken identifies the client to a per-session server: the token rides
+// every request as "Authorization: Bearer <token>", and the server keys
+// its quota, journal and counters by it — two clients with distinct tokens
+// never touch each other's budgets. Crawl consumes the server-side
+// streaming /crawl endpoint: the server runs the algorithm itself against
+// the caller's session and streams every extracted tuple back over a
+// single round trip.
 package httpclient
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -24,6 +33,7 @@ import (
 // Client is a remote hidden database. It implements hiddendb.Server.
 type Client struct {
 	base   string
+	token  string
 	http   *http.Client
 	schema *dataspace.Schema
 	k      int
@@ -36,11 +46,19 @@ type Client struct {
 // server root, e.g. "http://localhost:8080". Passing a nil httpClient uses
 // http.DefaultClient.
 func Dial(baseURL string, httpClient *http.Client) (*Client, error) {
+	return DialToken(baseURL, "", httpClient)
+}
+
+// DialToken is Dial with a client identity: every request carries the API
+// token in the Authorization: Bearer header, so a per-session server
+// resolves it to this client's own quota, journal and counters. An empty
+// token shares the server's anonymous session.
+func DialToken(baseURL, token string, httpClient *http.Client) (*Client, error) {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	c := &Client{base: baseURL, http: httpClient}
-	resp, err := httpClient.Get(baseURL + "/schema")
+	c := &Client{base: baseURL, token: token, http: httpClient}
+	resp, err := c.do(http.MethodGet, "/schema", nil)
 	if err != nil {
 		return nil, fmt.Errorf("httpclient: fetching schema: %w", err)
 	}
@@ -59,13 +77,34 @@ func Dial(baseURL string, httpClient *http.Client) (*Client, error) {
 	return c, nil
 }
 
+// Token returns the API token this client identifies as ("" when
+// anonymous).
+func (c *Client) Token() string { return c.token }
+
+// do issues one request against the server root, stamping the token.
+func (c *Client) do(method, path string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	wire.SetBearer(req.Header, c.token)
+	return c.http.Do(req)
+}
+
 // Answer implements hiddendb.Server with one POST /query round-trip.
 func (c *Client) Answer(q dataspace.Query) (hiddendb.Result, error) {
 	body, err := json.Marshal(wire.EncodeQuery(q))
 	if err != nil {
 		return hiddendb.Result{}, fmt.Errorf("httpclient: encoding query: %w", err)
 	}
-	resp, err := c.http.Post(c.base+"/query", "application/json", bytes.NewReader(body))
+	resp, err := c.do(http.MethodPost, "/query", body)
 	if err != nil {
 		return hiddendb.Result{}, fmt.Errorf("httpclient: query round-trip: %w", err)
 	}
@@ -87,9 +126,11 @@ func (c *Client) Answer(q dataspace.Query) (hiddendb.Result, error) {
 
 // AnswerBatch implements hiddendb.Server with one POST /batch round-trip.
 // The server answers the batch exactly as if the queries had been issued
-// sequentially; a batch cut short by the server's quota returns the
-// answered prefix plus hiddendb.ErrQuotaExceeded. When the remote predates
-// the batch endpoint (404), the batch degrades to per-query round trips.
+// sequentially; a batch cut short — by the server's quota or by a server
+// failure mid-batch — returns the answered (and paid-for) prefix plus
+// hiddendb.ErrQuotaExceeded or the server's error, respectively. When the
+// remote predates the batch endpoint (404), the batch degrades to
+// per-query round trips.
 func (c *Client) AnswerBatch(qs []dataspace.Query) ([]hiddendb.Result, error) {
 	if len(qs) == 0 {
 		return nil, nil
@@ -101,7 +142,7 @@ func (c *Client) AnswerBatch(qs []dataspace.Query) ([]hiddendb.Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("httpclient: encoding batch: %w", err)
 	}
-	resp, err := c.http.Post(c.base+"/batch", "application/json", bytes.NewReader(body))
+	resp, err := c.do(http.MethodPost, "/batch", body)
 	if err != nil {
 		return nil, fmt.Errorf("httpclient: batch round-trip: %w", err)
 	}
@@ -127,6 +168,11 @@ func (c *Client) AnswerBatch(qs []dataspace.Query) ([]hiddendb.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if msg.Error != "" {
+		// A mid-batch server failure: the prefix was answered and paid
+		// for — deliver it with the error, per the Server contract.
+		return results, fmt.Errorf("httpclient: server failed mid-batch: %s", msg.Error)
+	}
 	if quotaExceeded {
 		return results, hiddendb.ErrQuotaExceeded
 	}
@@ -146,6 +192,84 @@ func (c *Client) answerSequentially(qs []dataspace.Query) ([]hiddendb.Result, er
 		out = append(out, res)
 	}
 	return out, nil
+}
+
+// CrawlResult is the outcome of a server-side streaming crawl.
+type CrawlResult struct {
+	// Tuples is the extracted bag, in the server's output order.
+	Tuples dataspace.Bag
+	// Queries is the session's paid query count reported by the server's
+	// terminal event — the paper's cost metric for this client.
+	Queries int
+	// Resolved and Overflowed split the crawl's queries by outcome.
+	Resolved, Overflowed int
+}
+
+// Crawl asks the server to run the named crawling algorithm against this
+// client's session and consumes the NDJSON progress stream — the whole
+// extraction for one HTTP round trip. An empty algorithm selects the
+// server's recommended one. onEvent, when non-nil, observes every stream
+// line (tuple progress and the terminal summary) as it arrives.
+//
+// A crawl the server could not finish returns the tuples streamed so far
+// plus an error — hiddendb.ErrQuotaExceeded when the session's budget ran
+// dry, in which case re-calling Crawl after the budget window resets
+// resumes from the server-side journal for free.
+func (c *Client) Crawl(algorithm string, onEvent func(wire.CrawlEvent)) (*CrawlResult, error) {
+	body, err := json.Marshal(wire.CrawlRequest{Algorithm: algorithm})
+	if err != nil {
+		return nil, fmt.Errorf("httpclient: encoding crawl request: %w", err)
+	}
+	resp, err := c.do(http.MethodPost, "/crawl", body)
+	if err != nil {
+		return nil, fmt.Errorf("httpclient: crawl round-trip: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusTooManyRequests:
+		return nil, hiddendb.ErrQuotaExceeded
+	case http.StatusNotFound:
+		return nil, errors.New("httpclient: server has no /crawl endpoint (pre-session server?)")
+	default:
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("httpclient: crawl returned %s: %s", resp.Status, snippet)
+	}
+
+	out := &CrawlResult{}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ev wire.CrawlEvent
+		if err := dec.Decode(&ev); err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, errors.New("httpclient: crawl stream ended without a terminal event (truncated?)")
+			}
+			return out, fmt.Errorf("httpclient: decoding crawl stream: %w", err)
+		}
+		if onEvent != nil {
+			onEvent(ev)
+		}
+		if ev.Done {
+			out.Queries = ev.Queries
+			out.Resolved = ev.Resolved
+			out.Overflowed = ev.Overflowed
+			if ev.Error != "" {
+				if ev.QuotaExceeded {
+					return out, hiddendb.ErrQuotaExceeded
+				}
+				return out, fmt.Errorf("httpclient: server-side crawl failed: %s", ev.Error)
+			}
+			return out, nil
+		}
+		if ev.Tuple != nil {
+			t := dataspace.Tuple(ev.Tuple)
+			if err := t.Validate(c.schema); err != nil {
+				return out, fmt.Errorf("httpclient: crawl tuple %d: %w", len(out.Tuples), err)
+			}
+			out.Tuples = append(out.Tuples, t)
+			out.Queries = ev.Queries
+		}
+	}
 }
 
 // K implements hiddendb.Server.

@@ -1,0 +1,83 @@
+package httpclient
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hidb/internal/dataspace"
+	"hidb/internal/wire"
+)
+
+// stubServer serves a fixed schema and a scripted /batch response, and
+// records the Authorization headers it sees.
+func stubServer(t *testing.T, sch *dataspace.Schema, k int, batch wire.BatchResponse) (*httptest.Server, *[]string) {
+	t.Helper()
+	var auths []string
+	mux := http.NewServeMux()
+	mux.HandleFunc("/schema", func(w http.ResponseWriter, r *http.Request) {
+		auths = append(auths, r.Header.Get("Authorization"))
+		json.NewEncoder(w).Encode(wire.EncodeSchema(sch, k))
+	})
+	mux.HandleFunc("/batch", func(w http.ResponseWriter, r *http.Request) {
+		auths = append(auths, r.Header.Get("Authorization"))
+		json.NewEncoder(w).Encode(batch)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, &auths
+}
+
+// TestTokenRidesEveryRequest: DialToken stamps Authorization: Bearer on
+// the schema fetch and every query-carrying request.
+func TestTokenRidesEveryRequest(t *testing.T) {
+	sch := dataspace.MustSchema([]dataspace.Attribute{
+		{Name: "x", Kind: dataspace.Numeric, Min: 0, Max: 100},
+	})
+	ts, auths := stubServer(t, sch, 5, wire.BatchResponse{Results: []wire.ResultMsg{{}}})
+	c, err := DialToken(ts.URL, "secret-tok", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Token() != "secret-tok" {
+		t.Fatalf("Token() = %q", c.Token())
+	}
+	if _, err := c.AnswerBatch([]dataspace.Query{dataspace.UniverseQuery(sch)}); err != nil {
+		t.Fatal(err)
+	}
+	if len(*auths) != 2 {
+		t.Fatalf("saw %d requests, want 2", len(*auths))
+	}
+	for i, a := range *auths {
+		if a != "Bearer secret-tok" {
+			t.Errorf("request %d Authorization = %q", i, a)
+		}
+	}
+}
+
+// TestBatchErrorDeliversPrefix: a BatchResponse carrying an Error is the
+// answered-prefix-plus-error contract on the wire — the client must hand
+// back the prefix with a non-quota error.
+func TestBatchErrorDeliversPrefix(t *testing.T) {
+	sch := dataspace.MustSchema([]dataspace.Attribute{
+		{Name: "x", Kind: dataspace.Numeric, Min: 0, Max: 100},
+	})
+	ts, _ := stubServer(t, sch, 5, wire.BatchResponse{
+		Results: []wire.ResultMsg{{Tuples: [][]int64{{7}}}},
+		Error:   "backend on fire",
+	})
+	c, err := Dial(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := dataspace.UniverseQuery(sch)
+	res, err := c.AnswerBatch([]dataspace.Query{u, u, u})
+	if err == nil || !strings.Contains(err.Error(), "backend on fire") {
+		t.Fatalf("err = %v, want the server's failure", err)
+	}
+	if len(res) != 1 || len(res[0].Tuples) != 1 || res[0].Tuples[0][0] != 7 {
+		t.Fatalf("prefix = %+v, want the single answered result", res)
+	}
+}

@@ -7,70 +7,152 @@
 // tuples plus the overflow signal, and repeating a query returns the same
 // response.
 //
-// The handler can also enforce a per-client query quota, modelling the
-// per-IP limits that motivate the paper's cost metric. The quota is counted
-// in queries, not requests, so batching cannot stretch a budget: a batch
-// that would overrun the remaining budget is answered up to the budget and
-// flagged, mirroring hiddendb.Quota's sequential semantics.
+// # Per-client sessions
+//
+// The paper's cost model is per-client: real sites enforce their query
+// budgets per IP or API key. With WithSessions, the handler resolves every
+// query-carrying request to the caller's session — keyed by the API token
+// in the standard "Authorization: Bearer <token>" header (the Token field
+// of the /batch and /crawl envelopes is a body-level fallback; requests
+// without a token share the anonymous session). Each session owns a
+// private quota, memo table, and journal over the one shared store (see
+// the session package), so:
+//
+//   - 429 and the quotaExceeded batch flag are per-token: one client
+//     exhausting its budget never blocks another;
+//   - query counters are per-token, and a query the session has already
+//     paid for (memo hit or journal replay) is answered free of budget;
+//   - with a journal directory, a session evicted by the TTL — the budget
+//     window — persists its journal and reloads it when the token returns,
+//     so a crawl resumes across budgets paying only for new queries.
+//
+// GET /stats reports the aggregate and per-session counters as a
+// wire.StatsMsg.
+//
+// # The /crawl stream
+//
+// POST /crawl (session mode's companion endpoint; body: wire.CrawlRequest)
+// runs the requested crawling algorithm server-side against the caller's
+// session and streams progress as NDJSON (Content-Type
+// application/x-ndjson): one wire.CrawlEvent line per extracted tuple —
+// the tuple plus the session's paid query count at that moment — and a
+// single terminal line with Done set summarizing the crawl. A failure
+// mid-crawl (typically the session's budget running dry) is reported on
+// the terminal line, since the HTTP status is long committed; the queries
+// already paid are journaled, so re-POSTing /crawl after the budget window
+// resets fast-forwards for free and finishes the job. A client that
+// disconnects mid-stream does not abort the crawl: the responses it paid
+// for are journaled for its return.
+//
+// # Legacy single-quota mode
+//
+// Without sessions, the handler can still enforce one global quota,
+// modelling the per-IP limits that motivate the paper's cost metric. The
+// quota is counted in queries, not requests, so batching cannot stretch a
+// budget: it caps the total queries served across /query and /batch alike,
+// and a batch that would overrun the remaining budget is answered up to
+// the budget and flagged, mirroring hiddendb.Quota's sequential semantics.
+// On a mid-batch server failure the already-answered prefix — which the
+// wrapped server has paid for — is delivered with the error in
+// wire.BatchResponse.Error rather than discarded.
 package httpserver
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 
+	"hidb/internal/core"
+	"hidb/internal/dataspace"
 	"hidb/internal/hiddendb"
+	"hidb/internal/session"
 	"hidb/internal/wire"
 )
 
 // Handler serves a hidden database over HTTP. It implements http.Handler.
 type Handler struct {
 	srv hiddendb.Server
+	// table holds the per-token sessions; nil in legacy single-quota mode.
+	table *session.Table
 
 	mu sync.Mutex
-	// queries counts the form queries served (across all clients).
+	// queries counts the form queries served on the legacy (sessionless)
+	// paths; with sessions, per-token counts live in the table and
+	// Queries() aggregates both.
 	queries int
-	// requests counts the query-carrying HTTP round trips served (/query
-	// and /batch alike) — the denominator of the batching win.
+	// requests counts the query-carrying HTTP round trips served (/query,
+	// /batch and /crawl alike) — the denominator of the batching win.
 	requests int
-	// quota, when positive, caps the number of queries served; further
-	// requests get 429.
+	// quota, when positive, caps the number of queries served in legacy
+	// mode; further requests get 429.
 	quota int
 }
 
 // Option configures a Handler.
 type Option func(*Handler)
 
-// WithQuota caps the number of /query requests the handler will serve.
+// WithQuota caps the total number of queries the handler will serve,
+// across /query and /batch alike (a batch debits one unit per query, so
+// batching cannot stretch the budget). Mutually exclusive with
+// WithSessions — per-client budgets belong in session.Config.Quota.
 func WithQuota(n int) Option {
 	return func(h *Handler) { h.quota = n }
 }
 
-// New builds a handler over the given server.
+// WithSessions switches the handler to per-client sessions: every /query,
+// /batch and /crawl resolves through the caller's token-keyed session
+// (quota, memo, journal — see the session package and the package doc).
+func WithSessions(cfg session.Config) Option {
+	return func(h *Handler) { h.table = session.NewTable(h.srv, cfg) }
+}
+
+// New builds a handler over the given server. Combining WithQuota and
+// WithSessions is a configuration error and panics.
 func New(srv hiddendb.Server, opts ...Option) *Handler {
 	h := &Handler{srv: srv}
 	for _, o := range opts {
 		o(h)
 	}
+	if h.table != nil && h.quota > 0 {
+		panic("httpserver: WithQuota and WithSessions are mutually exclusive; set session.Config.Quota instead")
+	}
 	return h
 }
 
-// Queries returns the number of form queries served so far.
+// Queries returns the number of paid form queries served so far, across
+// all clients (in session mode: live and evicted sessions plus any legacy
+// serving; memo hits and journal replays are free).
 func (h *Handler) Queries() int {
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.queries
+	n := h.queries
+	h.mu.Unlock()
+	if h.table != nil {
+		n += h.table.TotalQueries()
+	}
+	return n
 }
 
 // Requests returns the number of query-carrying HTTP round trips served so
-// far (/query and /batch requests alike). With batching, Requests grows
-// ~B× slower than Queries.
+// far (/query, /batch and /crawl requests alike). With batching, Requests
+// grows ~B× slower than Queries.
 func (h *Handler) Requests() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.requests
+}
+
+// Sessions exposes the per-token session table, nil in legacy mode.
+func (h *Handler) Sessions() *session.Table { return h.table }
+
+// noteRequest counts one query-carrying round trip.
+func (h *Handler) noteRequest() {
+	h.mu.Lock()
+	h.requests++
+	h.mu.Unlock()
 }
 
 // ServeHTTP implements http.Handler.
@@ -82,6 +164,10 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		h.handleQuery(w, r)
 	case r.URL.Path == "/batch" && r.Method == http.MethodPost:
 		h.handleBatch(w, r)
+	case r.URL.Path == "/crawl" && r.Method == http.MethodPost:
+		h.handleCrawl(w, r)
+	case r.URL.Path == "/stats" && r.Method == http.MethodGet:
+		h.handleStats(w)
 	case r.URL.Path == "/healthz" && r.Method == http.MethodGet:
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -94,6 +180,22 @@ func (h *Handler) handleSchema(w http.ResponseWriter) {
 	writeJSON(w, wire.EncodeSchema(h.srv.Schema(), h.srv.K()))
 }
 
+// resolveSession returns the caller's session. The token comes from the
+// Authorization: Bearer header, falling back to the request body's Token
+// field; an empty token is the shared anonymous session.
+func (h *Handler) resolveSession(w http.ResponseWriter, r *http.Request, bodyToken string) (*session.Session, bool) {
+	token := wire.Bearer(r.Header)
+	if token == "" {
+		token = bodyToken
+	}
+	sess, err := h.table.Get(token)
+	if err != nil {
+		http.Error(w, "session error: "+err.Error(), http.StatusInternalServerError)
+		return nil, false
+	}
+	return sess, true
+}
+
 func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var msg wire.QueryMsg
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
@@ -104,6 +206,24 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 	q, err := wire.DecodeQuery(h.srv.Schema(), msg)
 	if err != nil {
 		http.Error(w, "bad query: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	if h.table != nil {
+		h.noteRequest()
+		sess, ok := h.resolveSession(w, r, "")
+		if !ok {
+			return
+		}
+		res, err := sess.Server().Answer(q)
+		switch {
+		case errors.Is(err, hiddendb.ErrQuotaExceeded):
+			http.Error(w, "query quota exceeded", http.StatusTooManyRequests)
+		case err != nil:
+			http.Error(w, "server error: "+err.Error(), http.StatusInternalServerError)
+		default:
+			writeJSON(w, wire.EncodeResult(res))
+		}
 		return
 	}
 
@@ -136,9 +256,10 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleBatch answers B form queries in one round trip, with exactly the
-// per-query semantics of /query: the handler's quota admits the longest
-// affordable prefix, and a batch cut short (by the handler's quota or the
-// inner server's) reports the answered prefix plus the quotaExceeded flag.
+// per-query semantics of /query: the caller's quota admits the longest
+// affordable prefix, and a batch cut short (by quota or by a server
+// failure) reports the answered prefix — which was paid for and must not
+// be discarded — plus the quotaExceeded flag or the error, respectively.
 func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var msg wire.BatchRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
@@ -153,6 +274,17 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(qs) == 0 {
 		http.Error(w, "bad batch: empty", http.StatusBadRequest)
+		return
+	}
+
+	if h.table != nil {
+		h.noteRequest()
+		sess, ok := h.resolveSession(w, r, msg.Token)
+		if !ok {
+			return
+		}
+		res, err := sess.Server().AnswerBatch(qs)
+		h.writeBatch(w, qs, res, err)
 		return
 	}
 
@@ -174,22 +306,217 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 	h.mu.Unlock()
 
 	res, err := h.srv.AnswerBatch(qs[:admitted])
-	if err != nil && !errors.Is(err, hiddendb.ErrQuotaExceeded) {
-		// A 500 delivers no responses at all, so none of the admitted
-		// queries were served — refund the whole reservation.
-		h.mu.Lock()
-		h.queries -= admitted
-		h.mu.Unlock()
-		http.Error(w, "server error: "+err.Error(), http.StatusInternalServerError)
-		return
-	}
+	// Per the Server contract, res is the answered prefix: those queries
+	// were served (and counted by any wrapped Counting/Quota decorator),
+	// whatever the error. Refund only the queries beyond the prefix, so
+	// the handler's counter can never disagree with the wrapped server's.
 	if n := admitted - len(res); n > 0 {
 		h.mu.Lock()
 		h.queries -= n
 		h.mu.Unlock()
 	}
+	if err != nil && !errors.Is(err, hiddendb.ErrQuotaExceeded) {
+		if len(res) == 0 {
+			// Nothing was served: a plain 500 keeps old clients working.
+			http.Error(w, "server error: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		// Deliver the paid prefix with the error signal instead of
+		// discarding responses the inner server already paid for.
+		out := wire.EncodeBatchResponse(res, admitted < len(qs))
+		out.Error = err.Error()
+		writeJSON(w, out)
+		return
+	}
 	quotaHit := admitted < len(qs) || errors.Is(err, hiddendb.ErrQuotaExceeded)
 	writeJSON(w, wire.EncodeBatchResponse(res, quotaHit))
+}
+
+// writeBatch encodes a session-mode batch outcome: the answered prefix
+// plus the quota flag or error signal, with the contract's 429 for a batch
+// that could not start at all.
+func (h *Handler) writeBatch(w http.ResponseWriter, qs []dataspace.Query, res []hiddendb.Result, err error) {
+	quotaHit := errors.Is(err, hiddendb.ErrQuotaExceeded)
+	if err != nil && len(res) == 0 {
+		if quotaHit {
+			http.Error(w, "query quota exceeded", http.StatusTooManyRequests)
+		} else {
+			http.Error(w, "server error: "+err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	out := wire.EncodeBatchResponse(res, quotaHit)
+	if err != nil && !quotaHit {
+		out.Error = err.Error()
+	}
+	writeJSON(w, out)
+}
+
+// handleCrawl runs a crawling algorithm server-side against the caller's
+// session and streams (tuple, paid-queries-so-far) progress as NDJSON —
+// the whole extraction for the price of one round trip. See the package
+// doc for the stream format.
+func (h *Handler) handleCrawl(w http.ResponseWriter, r *http.Request) {
+	var msg wire.CrawlRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&msg); err != nil && !errors.Is(err, io.EOF) {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	crawler := core.ForSchema(h.srv.Schema())
+	if msg.Algorithm != "" {
+		var err error
+		crawler, err = core.ByName(msg.Algorithm)
+		if err != nil {
+			http.Error(w, "bad algorithm: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+
+	h.noteRequest()
+	var target hiddendb.Server
+	var paid func() int // the caller's paid-query count, streamed per tuple
+	var onPaid func()   // bookkeeping per paid query, before the flush
+	if h.table != nil {
+		sess, ok := h.resolveSession(w, r, msg.Token)
+		if !ok {
+			return
+		}
+		target = sess.Server()
+		paid = sess.Queries
+		// A crawl can outlive the session TTL while being perfectly
+		// active; touching per paid query keeps the table from evicting
+		// a session that is mid-extraction.
+		token := sess.Token()
+		onPaid = func() { h.table.Touch(token) }
+	} else {
+		// Legacy mode: the crawl debits the handler's one global counter
+		// per query — the same check-and-reserve /query performs — so
+		// concurrent requests can never overrun the quota between them.
+		target = &legacyQuota{h: h, inner: h.srv}
+		h.mu.Lock()
+		exhausted := h.quota > 0 && h.queries >= h.quota
+		h.mu.Unlock()
+		if exhausted {
+			http.Error(w, "query quota exceeded", http.StatusTooManyRequests)
+			return
+		}
+		served := 0
+		paid = func() int { return served }
+		onPaid = func() { served++ }
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		bw.Flush()
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	// Encoding errors (a vanished client) do not abort the crawl: every
+	// answered query is journaled in the caller's session, so the work is
+	// never wasted — the client replays it for free on its next attempt.
+	tuplesSent := 0
+	opts := &core.Options{
+		OnTuples: func(tuples dataspace.Bag) {
+			n := paid()
+			for _, t := range tuples {
+				enc.Encode(wire.CrawlEvent{Tuple: t, Queries: n})
+				tuplesSent++
+			}
+		},
+		OnProgress: func(core.CurvePoint) {
+			onPaid()
+			flush()
+		},
+	}
+
+	res, err := crawler.Crawl(target, opts)
+	final := wire.CrawlEvent{Done: true, Queries: paid(), Tuples: tuplesSent}
+	if res != nil {
+		final.Resolved = res.Resolved
+		final.Overflowed = res.Overflowed
+	}
+	if err != nil {
+		final.Error = err.Error()
+		final.QuotaExceeded = errors.Is(err, hiddendb.ErrQuotaExceeded)
+	}
+	enc.Encode(final)
+	flush()
+}
+
+// legacyQuota serves a sessionless /crawl through the handler's single
+// global counter: each query is checked and reserved under h.mu exactly as
+// /query does, so a crawl racing other requests can never overrun -quota,
+// and /stats always reflects every query served. Failed queries are
+// refunded, mirroring handleQuery.
+type legacyQuota struct {
+	h     *Handler
+	inner hiddendb.Server
+}
+
+func (l *legacyQuota) Answer(q dataspace.Query) (hiddendb.Result, error) {
+	l.h.mu.Lock()
+	if l.h.quota > 0 && l.h.queries >= l.h.quota {
+		l.h.mu.Unlock()
+		return hiddendb.Result{}, hiddendb.ErrQuotaExceeded
+	}
+	l.h.queries++
+	l.h.mu.Unlock()
+	res, err := l.inner.Answer(q)
+	if err != nil {
+		l.h.mu.Lock()
+		l.h.queries--
+		l.h.mu.Unlock()
+	}
+	return res, err
+}
+
+// AnswerBatch loops over Answer: the server-side crawlers are sequential,
+// so batching buys nothing here, and per-query reservation is what keeps
+// the global counter exact under concurrency.
+func (l *legacyQuota) AnswerBatch(qs []dataspace.Query) ([]hiddendb.Result, error) {
+	out := make([]hiddendb.Result, 0, len(qs))
+	for _, q := range qs {
+		res, err := l.Answer(q)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func (l *legacyQuota) K() int                    { return l.inner.K() }
+func (l *legacyQuota) Schema() *dataspace.Schema { return l.inner.Schema() }
+
+// handleStats reports the aggregate and per-session counters.
+func (h *Handler) handleStats(w http.ResponseWriter) {
+	h.mu.Lock()
+	msg := wire.StatsMsg{Queries: h.queries, Requests: h.requests}
+	h.mu.Unlock()
+	if h.table != nil {
+		msg.Queries += h.table.TotalQueries()
+		msg.EvictedSessions = h.table.Evicted()
+		for _, s := range h.table.Stats() {
+			msg.Sessions = append(msg.Sessions, wire.SessionStatsMsg{
+				Token:      s.Token,
+				Queries:    s.Queries,
+				Resolved:   s.Resolved,
+				Overflowed: s.Overflowed,
+				Remaining:  s.Remaining,
+				Replays:    s.Replays,
+				CacheHits:  s.CacheHits,
+				JournalLen: s.JournalLen,
+			})
+		}
+	}
+	writeJSON(w, msg)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -208,13 +209,22 @@ func (b *batcher) issue(batch []flightReq) {
 	}
 
 	b.mu.Lock()
-	if err != nil && len(results) == len(batch) {
-		// Every query of this batch was answered; the error concerns
-		// whatever would come next (a quota flagged on the last affordable
-		// responses). Deliver the results and fail later queries instead
-		// of dropping the signal.
-		b.deferred = err
-		err = nil
+	if err != nil {
+		if len(results) == len(batch) {
+			// Every query of this batch was answered; the error concerns
+			// whatever would come next (a quota flagged on the last
+			// affordable responses). Deliver the results and fail later
+			// queries instead of dropping the signal.
+			b.deferred = err
+			err = nil
+		} else if errors.Is(err, hiddendb.ErrQuotaExceeded) {
+			// The budget died mid-batch: this batch's unanswered queries
+			// fail below with the error, and — budgets never come back
+			// within a crawl — every later distinct query is doomed too.
+			// Latch the error so they fail fast instead of each paying a
+			// pointless round trip against the exhausted server.
+			b.deferred = err
+		}
 	}
 	points := make([]core.CurvePoint, len(results))
 	for i, res := range results {

@@ -1,0 +1,132 @@
+package parallel
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"hidb/internal/core"
+	"hidb/internal/datagen"
+	"hidb/internal/dataspace"
+	"hidb/internal/hiddendb"
+)
+
+// roundTrips counts AnswerBatch/Answer calls reaching the wrapped server —
+// the round trips a real remote client would pay for.
+type roundTrips struct {
+	hiddendb.Server
+	mu    sync.Mutex
+	calls int
+}
+
+func (r *roundTrips) Answer(q dataspace.Query) (hiddendb.Result, error) {
+	r.mu.Lock()
+	r.calls++
+	r.mu.Unlock()
+	return r.Server.Answer(q)
+}
+
+func (r *roundTrips) AnswerBatch(qs []dataspace.Query) ([]hiddendb.Result, error) {
+	r.mu.Lock()
+	r.calls++
+	r.mu.Unlock()
+	return r.Server.AnswerBatch(qs)
+}
+
+func (r *roundTrips) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.calls
+}
+
+// TestBatcherFailsFastAfterQuota is the post-quota hammering regression:
+// once a round trip reports ErrQuotaExceeded — even with a short answered
+// prefix — later distinct queries must fail fast from the latched error
+// instead of each paying a doomed round trip against the exhausted server.
+func TestBatcherFailsFastAfterQuota(t *testing.T) {
+	ds, err := datagen.Random(datagen.RandomSpec{
+		N:          200,
+		CatDomains: []int{4},
+		NumRanges:  [][2]int64{{0, 1000}},
+		DupRate:    0.05,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := hiddendb.NewLocal(ds.Schema, ds.Tuples, 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := &roundTrips{Server: hiddendb.NewQuota(local, 2)}
+
+	// workers = maxBatch = 1 keeps the dispatch order deterministic: each
+	// Answer is its own round trip.
+	b := newBatcher(rt, 1, 1, &core.Options{})
+	defer b.close()
+
+	qs := make([]dataspace.Query, 5)
+	for i := range qs {
+		lo := int64(i * 3)
+		qs[i] = dataspace.UniverseQuery(ds.Schema).WithRange(1, lo, lo+2)
+	}
+
+	// Two queries fit the budget.
+	for i := 0; i < 2; i++ {
+		if _, err := b.Answer(qs[i]); err != nil {
+			t.Fatalf("in-budget query %d: %v", i, err)
+		}
+	}
+	// The third pays the round trip that discovers the exhaustion: the
+	// quota cuts the batch short (empty prefix, len(results) < len(batch)).
+	if _, err := b.Answer(qs[2]); !errors.Is(err, hiddendb.ErrQuotaExceeded) {
+		t.Fatalf("query 2: err=%v, want quota", err)
+	}
+	after := rt.count()
+	if after != 3 {
+		t.Fatalf("round trips at exhaustion: %d, want 3", after)
+	}
+
+	// Every later distinct query fails fast — zero further round trips.
+	for i := 3; i < 5; i++ {
+		if _, err := b.Answer(qs[i]); !errors.Is(err, hiddendb.ErrQuotaExceeded) {
+			t.Fatalf("post-budget query %d: err=%v, want quota", i, err)
+		}
+	}
+	if got := rt.count(); got != after {
+		t.Fatalf("post-budget queries paid %d extra round trips, want 0", got-after)
+	}
+}
+
+// TestParallelCrawlStopsAtQuota: a whole parallel crawl against an
+// exhausted budget issues no storm of doomed round trips — the round-trip
+// count stays within the batches in flight when the quota tripped.
+func TestParallelCrawlStopsAtQuota(t *testing.T) {
+	ds, err := datagen.Random(datagen.RandomSpec{
+		N:          2000,
+		CatDomains: []int{6},
+		NumRanges:  [][2]int64{{0, 5000}},
+		DupRate:    0.05,
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := hiddendb.NewLocal(ds.Schema, ds.Tuples, 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 7
+	const workers = 4
+	rt := &roundTrips{Server: hiddendb.NewQuota(local, budget)}
+
+	_, err = Crawler{Workers: workers}.Crawl(rt, nil)
+	if !errors.Is(err, hiddendb.ErrQuotaExceeded) {
+		t.Fatalf("crawl on a %d-query budget: err=%v, want quota", budget, err)
+	}
+	// Before the latch fix, every ready query after exhaustion paid its
+	// own doomed round trip. With it, only round trips already in flight
+	// when the quota tripped can still land: the budget's trips plus at
+	// most one per worker.
+	if got := rt.count(); got > budget+workers {
+		t.Fatalf("%d round trips for a %d-query budget with %d workers; post-quota hammering is back", got, budget, workers)
+	}
+}

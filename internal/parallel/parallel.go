@@ -184,10 +184,16 @@ func (p *pool) spawnChildren(u int64, f func(v int64) error) {
 }
 
 func (p *pool) emit(tuples dataspace.Bag) {
+	if len(tuples) == 0 {
+		return
+	}
 	p.outMu.Lock()
 	p.out = append(p.out, tuples...)
 	p.outMu.Unlock()
 	p.srv.noteTuples(len(tuples))
+	if p.opts.OnTuples != nil {
+		p.opts.OnTuples(tuples)
+	}
 }
 
 func (p *pool) emitMatching(tuples dataspace.Bag, q dataspace.Query) {

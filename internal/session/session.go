@@ -1,0 +1,446 @@
+// Package session gives each API token its own view of one shared hidden
+// database — the server-side counterpart of the paper's per-client cost
+// model. A real hidden site enforces its query budget per IP or API key;
+// a server that kept one global quota and one shared replay log would let
+// two crawlers corrupt each other's budgets and journals. Here every token
+// owns a private decorator stack over the shared (possibly sharded) store:
+//
+//	journal wrapper → Caching → Quota → Counting → shared store
+//
+// reading left to right in wrapping order, outermost first. A query the
+// session has already paid for is answered from its journal or memo table
+// for free; a new query debits the token's budget and, once answered, is
+// journaled. The Counting innermost layer is therefore exactly the paper's
+// cost metric, per client: queries that actually reached the hidden
+// database on this token's budget.
+//
+// Sessions live in a Table — an LRU with TTL safe for concurrent batches.
+// An idle session expires after the TTL (modelling the budget window of
+// real sites: evicting the session resets the token's quota, the way a
+// per-day budget resets overnight), and the table caps the number of live
+// sessions, evicting least-recently-used tokens under pressure. When a
+// journal directory is configured, an evicted session's journal is
+// persisted and reloaded on the token's next request, so a crawl that
+// exhausted one budget fast-forwards for free through everything already
+// paid and spends the fresh budget only on new queries — the journal
+// package's resumability contract, now enforced server-side per client.
+package session
+
+import (
+	"container/list"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"hidb/internal/hiddendb"
+	"hidb/internal/journal"
+)
+
+// DefaultMaxSessions caps the live-session count when Config.MaxSessions
+// is zero.
+const DefaultMaxSessions = 1024
+
+// Config tunes a Table. The zero value means: no per-client quota, no TTL
+// expiry, DefaultMaxSessions live sessions, no journal persistence.
+type Config struct {
+	// Quota is each client's query budget per session lifetime; zero
+	// means unlimited. Cache hits and journal replays are free — the
+	// budget counts only queries that reach the shared store.
+	Quota int
+	// TTL evicts a session idle for longer; zero disables expiry. With a
+	// quota, the TTL is the budget window: a token returning after expiry
+	// gets a fresh session, hence a fresh budget (and its reloaded
+	// journal, when persistence is on).
+	TTL time.Duration
+	// MaxSessions bounds the live sessions; the least recently used is
+	// evicted beyond it. Zero means DefaultMaxSessions.
+	MaxSessions int
+	// JournalDir, when non-empty, persists each session's journal there
+	// on eviction and reloads it when the token reconnects. The
+	// directory is created on first use.
+	JournalDir string
+}
+
+// Session is one token's private view of the shared server. Its Server
+// stack is safe for concurrent batches, so one client may overlap
+// requests.
+type Session struct {
+	token    string
+	srv      hiddendb.Server
+	journal  *journal.Journal
+	jsrv     *journal.Server
+	caching  *hiddendb.Caching
+	quota    *hiddendb.Quota
+	counting *hiddendb.Counting
+
+	lastSeen time.Time // guarded by the owning Table's mutex
+}
+
+// Token returns the session's API token ("" for the anonymous session).
+func (s *Session) Token() string { return s.token }
+
+// Server returns the session's decorator stack. All queries of this token
+// must flow through it.
+func (s *Session) Server() hiddendb.Server { return s.srv }
+
+// Queries returns the queries this client paid for — the paper's cost
+// metric, per token. Cache hits and journal replays are not counted.
+func (s *Session) Queries() int { return s.counting.Queries() }
+
+// Resolved returns how many paid queries resolved.
+func (s *Session) Resolved() int { return s.counting.Resolved() }
+
+// Overflowed returns how many paid queries overflowed.
+func (s *Session) Overflowed() int { return s.counting.Overflowed() }
+
+// Remaining returns the unused budget, or -1 when the session is
+// unlimited.
+func (s *Session) Remaining() int {
+	if s.quota == nil {
+		return -1
+	}
+	return s.quota.Remaining()
+}
+
+// Replays returns how many queries were answered from the journal.
+func (s *Session) Replays() int { return s.jsrv.Replays() }
+
+// CacheHits returns how many queries were answered from the memo table.
+func (s *Session) CacheHits() int { return s.caching.Hits() }
+
+// JournalLen returns the number of (query, response) pairs journaled.
+func (s *Session) JournalLen() int { return s.journal.Len() }
+
+// Journal exposes the session's journal (tests and persistence).
+func (s *Session) Journal() *journal.Journal { return s.journal }
+
+// Stats is a point-in-time snapshot of one session's counters.
+type Stats struct {
+	Token      string
+	Queries    int
+	Resolved   int
+	Overflowed int
+	Remaining  int // -1 when unlimited
+	Replays    int
+	CacheHits  int
+	JournalLen int
+}
+
+func (s *Session) stats() Stats {
+	return Stats{
+		Token:      s.token,
+		Queries:    s.Queries(),
+		Resolved:   s.Resolved(),
+		Overflowed: s.Overflowed(),
+		Remaining:  s.Remaining(),
+		Replays:    s.Replays(),
+		CacheHits:  s.CacheHits(),
+		JournalLen: s.JournalLen(),
+	}
+}
+
+// Table maps API tokens to live sessions: an LRU with TTL over one shared
+// server. Safe for concurrent use; the per-session server stacks it hands
+// out are safe for concurrent batches.
+type Table struct {
+	shared hiddendb.Server
+	cfg    Config
+
+	mu       sync.Mutex
+	sessions map[string]*list.Element // token → lru element holding *Session
+	lru      *list.List               // front = most recently used
+	// evicted and evictedQueries accumulate the sessions (and their paid
+	// queries) already evicted, so aggregate stats survive eviction.
+	evicted        int
+	evictedQueries int
+	// persistErr remembers the last journal-persistence failure (evictions
+	// happen inside unrelated Gets and cannot surface an error to that
+	// caller).
+	persistErr error
+
+	// now is the table's clock, swappable in tests.
+	now func() time.Time
+}
+
+// NewTable builds a session table over the shared server.
+func NewTable(shared hiddendb.Server, cfg Config) *Table {
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	return &Table{
+		shared:   shared,
+		cfg:      cfg,
+		sessions: make(map[string]*list.Element),
+		lru:      list.New(),
+		now:      time.Now,
+	}
+}
+
+// Get returns the token's live session, creating it (and reloading its
+// persisted journal, if any) on first use. Every call counts as activity:
+// it refreshes the TTL and the LRU position. Expired and over-cap sessions
+// are evicted on the way. Journal file I/O — loading on a miss, persisting
+// the evicted — happens outside the table lock, so one token's disk never
+// stalls every other client's request.
+func (t *Table) Get(token string) (*Session, error) {
+	t.mu.Lock()
+	now := t.now()
+	victims := t.sweepLocked(now)
+	if el, ok := t.sessions[token]; ok {
+		sess := el.Value.(*Session)
+		sess.lastSeen = now
+		t.lru.MoveToFront(el)
+		t.mu.Unlock()
+		t.persistAll(victims)
+		return sess, nil
+	}
+	t.mu.Unlock()
+	t.persistAll(victims)
+
+	// Build the session (and read its persisted journal) unlocked; when
+	// two requests race on a fresh token, the first to insert wins and
+	// the loser's build is discarded — safe, since nothing was journaled
+	// by the discarded incarnation.
+	sess, err := t.newSession(token)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	if el, ok := t.sessions[token]; ok {
+		existing := el.Value.(*Session)
+		existing.lastSeen = t.now()
+		t.lru.MoveToFront(el)
+		t.mu.Unlock()
+		return existing, nil
+	}
+	sess.lastSeen = t.now()
+	t.sessions[token] = t.lru.PushFront(sess)
+	victims = victims[:0]
+	for t.lru.Len() > t.cfg.MaxSessions {
+		victims = append(victims, t.evictLocked(t.lru.Back()))
+	}
+	t.mu.Unlock()
+	t.persistAll(victims)
+	return sess, nil
+}
+
+// Touch refreshes the token's TTL and LRU position without creating a
+// session. A long-running server-side crawl touches its session per paid
+// query, so activity inside one request keeps the session live exactly as
+// activity across requests does.
+func (t *Table) Touch(token string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if el, ok := t.sessions[token]; ok {
+		el.Value.(*Session).lastSeen = t.now()
+		t.lru.MoveToFront(el)
+	}
+}
+
+// newSession builds the token's decorator stack over the shared server,
+// reloading a persisted journal when one exists.
+func (t *Table) newSession(token string) (*Session, error) {
+	jnl, err := t.loadJournal(token)
+	if err != nil {
+		return nil, err
+	}
+	if jnl == nil {
+		jnl = journal.New(t.shared.Schema(), t.shared.K())
+	}
+	counting := hiddendb.NewCounting(t.shared)
+	var view hiddendb.Server = counting
+	var quota *hiddendb.Quota
+	if t.cfg.Quota > 0 {
+		quota = hiddendb.NewQuota(view, t.cfg.Quota)
+		view = quota
+	}
+	caching := hiddendb.NewCaching(view)
+	jsrv, err := journal.Wrap(caching, jnl)
+	if err != nil {
+		return nil, fmt.Errorf("session: token %q: %w", token, err)
+	}
+	return &Session{
+		token:    token,
+		srv:      jsrv,
+		journal:  jnl,
+		jsrv:     jsrv,
+		caching:  caching,
+		quota:    quota,
+		counting: counting,
+	}, nil
+}
+
+// sweepLocked evicts every session idle past the TTL, returning them for
+// the caller to persist once the lock is released. Expired sessions
+// cluster at the LRU tail, since last-use order is idle order.
+func (t *Table) sweepLocked(now time.Time) []*Session {
+	if t.cfg.TTL <= 0 {
+		return nil
+	}
+	var victims []*Session
+	for el := t.lru.Back(); el != nil; el = t.lru.Back() {
+		if now.Sub(el.Value.(*Session).lastSeen) < t.cfg.TTL {
+			break
+		}
+		victims = append(victims, t.evictLocked(el))
+	}
+	return victims
+}
+
+// evictLocked removes one session, folding its counters into the evicted
+// accumulators, and returns it for persistence outside the lock. Queries
+// still in flight on the evicted stack complete safely; they are merely no
+// longer captured by the persisted journal snapshot (they would be re-paid
+// on reconnect, which is always safe — the journal is an optimization,
+// never the source of truth).
+func (t *Table) evictLocked(el *list.Element) *Session {
+	sess := el.Value.(*Session)
+	t.lru.Remove(el)
+	delete(t.sessions, sess.token)
+	t.evicted++
+	t.evictedQueries += sess.Queries()
+	return sess
+}
+
+// persistAll writes the evicted sessions' journals, recording the last
+// failure. Must be called without the table lock held.
+func (t *Table) persistAll(victims []*Session) {
+	for _, sess := range victims {
+		if err := t.persistJournal(sess); err != nil {
+			t.mu.Lock()
+			t.persistErr = err
+			t.mu.Unlock()
+		}
+	}
+}
+
+// Len returns the number of live sessions.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lru.Len()
+}
+
+// Evicted returns how many sessions have been evicted so far.
+func (t *Table) Evicted() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evicted
+}
+
+// TotalQueries returns the aggregate paid query count across live and
+// evicted sessions.
+func (t *Table) TotalQueries() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	total := t.evictedQueries
+	for el := t.lru.Front(); el != nil; el = el.Next() {
+		total += el.Value.(*Session).Queries()
+	}
+	return total
+}
+
+// Stats snapshots every live session's counters, sorted by token.
+func (t *Table) Stats() []Stats {
+	t.mu.Lock()
+	out := make([]Stats, 0, t.lru.Len())
+	for el := t.lru.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*Session).stats())
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Token < out[j].Token })
+	return out
+}
+
+// PersistErr returns the last journal-persistence failure observed during
+// an eviction, if any (evictions run inside unrelated requests and cannot
+// report errors inline).
+func (t *Table) PersistErr() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.persistErr
+}
+
+// Close persists every live session's journal (when a journal directory is
+// configured) and empties the table. It returns the last persistence
+// error, including any pending one from earlier evictions.
+func (t *Table) Close() error {
+	t.mu.Lock()
+	var victims []*Session
+	for el := t.lru.Back(); el != nil; el = t.lru.Back() {
+		victims = append(victims, t.evictLocked(el))
+	}
+	t.mu.Unlock()
+	t.persistAll(victims)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.persistErr
+}
+
+// journalPath names the token's journal file. Tokens are arbitrary
+// strings, so the name is the URL-safe base64 of the token — collision
+// free and filesystem safe.
+func (t *Table) journalPath(token string) string {
+	name := "s-" + base64.RawURLEncoding.EncodeToString([]byte(token)) + ".journal"
+	return filepath.Join(t.cfg.JournalDir, name)
+}
+
+// loadJournal reloads the token's persisted journal, or returns nil when
+// persistence is off or no journal exists. A journal recorded against a
+// different schema or return limit is an operator error and is reported,
+// not silently discarded.
+func (t *Table) loadJournal(token string) (*journal.Journal, error) {
+	if t.cfg.JournalDir == "" {
+		return nil, nil
+	}
+	f, err := os.Open(t.journalPath(token))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("session: token %q: %w", token, err)
+	}
+	defer f.Close()
+	jnl, err := journal.ReadFrom(f)
+	if err != nil {
+		return nil, fmt.Errorf("session: token %q journal: %w", token, err)
+	}
+	return jnl, nil
+}
+
+// persistJournal atomically writes the session's journal next to its final
+// path. Empty journals are skipped — nothing to resume.
+func (t *Table) persistJournal(sess *Session) error {
+	if t.cfg.JournalDir == "" || sess.journal.Len() == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(t.cfg.JournalDir, 0o755); err != nil {
+		return fmt.Errorf("session: journal dir: %w", err)
+	}
+	path := t.journalPath(sess.token)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("session: persisting %q: %w", sess.token, err)
+	}
+	if _, err := sess.journal.WriteTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("session: persisting %q: %w", sess.token, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("session: persisting %q: %w", sess.token, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("session: persisting %q: %w", sess.token, err)
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+// Session, crawl and stats messages of the wire protocol.
+//
+// A client identifies itself with an API token. The convention is the
+// standard HTTP one — an "Authorization: Bearer <token>" header on every
+// request — with a body-level Token field on the /batch and /crawl
+// envelopes as a fallback for clients that cannot set headers. When both
+// are present the header wins. The server keys quota, journal, and query
+// counters by that token; requests without a token share the anonymous
+// session.
+package wire
+
+import (
+	"net/http"
+	"strings"
+)
+
+// AuthHeader is the HTTP header carrying the client's API token.
+const AuthHeader = "Authorization"
+
+// bearerPrefix is the scheme tag of the token convention.
+const bearerPrefix = "Bearer "
+
+// SetBearer stamps the token onto the header set in the Authorization:
+// Bearer convention. An empty token leaves the headers untouched.
+func SetBearer(h http.Header, token string) {
+	if token == "" {
+		return
+	}
+	h.Set(AuthHeader, bearerPrefix+token)
+}
+
+// Bearer extracts the API token from the Authorization header, or ""
+// when the header is absent or carries a different scheme.
+func Bearer(h http.Header) string {
+	v := h.Get(AuthHeader)
+	if len(v) > len(bearerPrefix) && strings.EqualFold(v[:len(bearerPrefix)], bearerPrefix) {
+		return v[len(bearerPrefix):]
+	}
+	return ""
+}
+
+// CrawlRequest is the request body of the /crawl endpoint: the server runs
+// the named crawling algorithm itself against the caller's session and
+// streams progress back as NDJSON CrawlEvent lines. An empty Algorithm
+// selects the paper's recommended algorithm for the schema.
+type CrawlRequest struct {
+	Algorithm string `json:"algorithm,omitempty"`
+	// Token is the body-level fallback of the Authorization: Bearer
+	// convention.
+	Token string `json:"token,omitempty"`
+}
+
+// CrawlEvent is one NDJSON line of the /crawl response stream.
+//
+// Progress lines carry one extracted tuple plus the session's paid query
+// count at the moment of extraction. The stream ends with exactly one
+// terminal line (Done == true) summarizing the crawl; a crawl that fails
+// mid-stream reports the failure there, since the HTTP status is long
+// committed — QuotaExceeded marks the caller's session budget as the
+// cause, so the client can resume after the budget resets.
+type CrawlEvent struct {
+	// Tuple is one extracted tuple, attribute values in schema order
+	// (progress lines only).
+	Tuple []int64 `json:"tuple,omitempty"`
+	// Queries is the session's paid query count so far.
+	Queries int `json:"queries"`
+	// Done marks the terminal summary line.
+	Done bool `json:"done,omitempty"`
+	// Tuples, Resolved and Overflowed summarize the crawl (terminal line).
+	Tuples     int `json:"tuples,omitempty"`
+	Resolved   int `json:"resolved,omitempty"`
+	Overflowed int `json:"overflowed,omitempty"`
+	// Error reports a crawl that could not complete (terminal line).
+	Error string `json:"error,omitempty"`
+	// QuotaExceeded marks an Error caused by the session's query budget.
+	QuotaExceeded bool `json:"quotaExceeded,omitempty"`
+}
+
+// StatsMsg is the response of the GET /stats endpoint.
+type StatsMsg struct {
+	// Queries is the aggregate paid query count across all clients
+	// (including sessions already evicted).
+	Queries int `json:"queries"`
+	// Requests is the number of query-carrying HTTP round trips served.
+	Requests int `json:"requests"`
+	// Sessions lists the live per-token sessions (session mode only).
+	Sessions []SessionStatsMsg `json:"sessions,omitempty"`
+	// EvictedSessions counts sessions already evicted by TTL or LRU
+	// pressure; their queries remain in the aggregate.
+	EvictedSessions int `json:"evictedSessions,omitempty"`
+}
+
+// SessionStatsMsg is one live session's counters in the /stats response.
+type SessionStatsMsg struct {
+	Token string `json:"token"`
+	// Queries counts the queries this client paid for (cache hits and
+	// journal replays are free, mirroring the paper's cost metric).
+	Queries    int `json:"queries"`
+	Resolved   int `json:"resolved,omitempty"`
+	Overflowed int `json:"overflowed,omitempty"`
+	// Remaining is the unused per-client budget, -1 when unlimited.
+	Remaining int `json:"remaining"`
+	// Replays counts queries answered from the session's journal.
+	Replays int `json:"replays,omitempty"`
+	// CacheHits counts queries answered from the session's memo table.
+	CacheHits int `json:"cacheHits,omitempty"`
+	// JournalLen is the number of (query, response) pairs journaled.
+	JournalLen int `json:"journalLen,omitempty"`
+}

@@ -61,16 +61,22 @@ type ResultMsg struct {
 // submitted to /query one by one, in order.
 type BatchRequest struct {
 	Queries []QueryMsg `json:"queries"`
+	// Token is the body-level fallback of the Authorization: Bearer
+	// convention (see SetBearer); the header wins when both are present.
+	Token string `json:"token,omitempty"`
 }
 
 // BatchResponse is the response body of the /batch endpoint. Results holds
 // one entry per answered query, in request order. When QuotaExceeded is
 // true the server's query budget ran out mid-batch: Results covers only the
 // prefix answered before the budget was spent, and the remaining queries
-// were not executed.
+// were not executed. A non-empty Error reports a server failure mid-batch:
+// Results again covers the prefix paid for and answered before the failure
+// (the batch contract's answered-prefix-plus-error, carried over the wire).
 type BatchResponse struct {
 	Results       []ResultMsg `json:"results"`
 	QuotaExceeded bool        `json:"quotaExceeded,omitempty"`
+	Error         string      `json:"error,omitempty"`
 }
 
 // EncodeBatchRequest converts a query batch to the wire form.
