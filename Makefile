@@ -4,12 +4,18 @@ GO ?= go
 BENCH_OUT ?= bench.out
 # One benchmark snapshot per perf PR; bench compares the fresh snapshot's
 # query-count metrics against the committed baseline of the previous PR.
-BENCH_JSON ?= BENCH_2.json
-BENCH_BASELINE ?= BENCH_1.json
+BENCH_JSON ?= BENCH_3.json
+BENCH_BASELINE ?= BENCH_2.json
+# Minimum statement coverage (percent) for the algorithm and server-contract
+# packages, enforced by `make cover`. Raise as the suite grows; never lower
+# it to ship.
+COVER_PKGS ?= ./internal/core ./internal/hiddendb
+COVER_MIN ?= 80
+COVER_OUT ?= cover.out
 
-.PHONY: all build check test race bench clean
+.PHONY: all build check test race cover bench clean
 
-all: build check test race
+all: build check test race cover
 
 build:
 	$(GO) build ./...
@@ -32,6 +38,17 @@ test: build
 race: build
 	$(GO) test -race ./...
 
+# cover gates statement coverage of the crawling algorithms (internal/core)
+# and the server contract + decorators (internal/hiddendb): the two
+# packages every invariant in this repo leans on. Fails below COVER_MIN%.
+cover:
+	$(GO) test -coverprofile=$(COVER_OUT) $(COVER_PKGS)
+	@total=$$($(GO) tool cover -func=$(COVER_OUT) | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}'); \
+	echo "total statement coverage: $$total% (minimum $(COVER_MIN)%)"; \
+	awk "BEGIN {exit !($$total >= $(COVER_MIN))}" || { \
+		echo "coverage $$total% is below the $(COVER_MIN)% gate"; exit 1; \
+	}
+
 # bench runs the full benchmark suite — the figure/theorem harness (whose
 # custom metrics are the paper's query counts) plus the index engine's
 # microbenchmarks — and snapshots it as JSON for the perf trajectory.
@@ -45,4 +62,4 @@ bench:
 	$(GO) run ./scripts/benchjson -in $(BENCH_OUT) -out $(BENCH_JSON) -baseline $(BENCH_BASELINE)
 
 clean:
-	rm -f $(BENCH_OUT)
+	rm -f $(BENCH_OUT) $(COVER_OUT)

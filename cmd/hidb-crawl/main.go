@@ -20,11 +20,13 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -90,10 +92,16 @@ func main() {
 	batch := flag.Int("batch", 0, "max queries per AnswerBatch round trip (0 = worker count; capped at -workers)")
 	flag.Parse()
 
+	// Ctrl-C cancels the crawl between queries instead of killing the
+	// process: with -journal, everything already paid is persisted below,
+	// so the next run resumes for free.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	var srv hidb.Server
 	var groundTruth hidb.Bag
 	if *url != "" {
-		c, err := hidb.DialHTTP(*url, nil)
+		c, err := hidb.DialHTTP(ctx, *url, nil)
 		if err != nil {
 			log.Print(err)
 			os.Exit(1)
@@ -149,7 +157,7 @@ func main() {
 
 	opts := &hidb.CrawlOptions{CollectCurve: *showProgress, BatchSize: *batch}
 	start := time.Now()
-	res, err := crawler.Crawl(srv, opts)
+	res, err := crawler.Crawl(ctx, srv, opts)
 	if jnl != nil {
 		if serr := saveJournal(*journalPath, jnl); serr != nil {
 			log.Printf("saving journal: %v", serr)
@@ -159,7 +167,7 @@ func main() {
 	}
 	if err != nil {
 		log.Printf("crawl failed: %v", err)
-		if errors.Is(err, hidb.ErrQuotaExceeded) && jnl != nil {
+		if (errors.Is(err, hidb.ErrQuotaExceeded) || errors.Is(err, context.Canceled)) && jnl != nil {
 			log.Print("re-run with the same -journal to resume where this session stopped")
 		}
 		os.Exit(1)

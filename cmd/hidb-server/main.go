@@ -18,9 +18,12 @@
 // batched crawls from one process. Responses are bit-identical to the
 // unsharded store.
 //
-// Any of -quota-per-client, -session-ttl or -journal-dir switches the
-// server to per-client sessions: each API token (Authorization: Bearer)
-// gets its own quota, memo and journal over the shared store; GET /stats
+// Any of -quota-per-client, -rate-per-client, -session-ttl or -journal-dir
+// switches the server to per-client sessions: each API token
+// (Authorization: Bearer) gets its own quota, token-bucket rate limit
+// (-rate-per-client queries/second sustained, throttled queries wait
+// inside the request and cancel with it), memo and journal over the
+// shared store; GET /stats
 // reports per-session and aggregate counters; and POST /crawl runs the
 // optimal crawl server-side, streaming (tuple, paid-queries) progress as
 // NDJSON. -session-ttl is the budget window (an idle session expires and
@@ -39,6 +42,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -82,12 +86,14 @@ func main() {
 	quota := flag.Int("quota", 0, "global max queries served (0 = unlimited; exclusive with per-client sessions)")
 	shards := flag.Int("shards", 1, "priority-range shards of the store (>1 answers /batch with a parallel fan-out)")
 	quotaPerClient := flag.Int("quota-per-client", 0, "per-token query budget per session window (0 = unlimited; enables sessions)")
+	ratePerClient := flag.Float64("rate-per-client", 0, "per-token sustained queries/second, token-bucket throttled (0 = unthrottled; enables sessions)")
+	rateBurst := flag.Int("rate-burst", 0, "token-bucket burst for -rate-per-client (0 = ceil of the rate)")
 	sessionTTL := flag.Duration("session-ttl", 0, "idle session expiry — the budget window (0 = never; enables sessions)")
 	journalDir := flag.String("journal-dir", "", "persist each session's journal here on eviction/shutdown, reload on reconnect (enables sessions)")
 	maxSessions := flag.Int("max-sessions", 0, "live session cap, LRU-evicted beyond it (0 = default)")
 	flag.Parse()
 
-	sessions := *quotaPerClient > 0 || *sessionTTL > 0 || *journalDir != "" || *maxSessions > 0
+	sessions := *quotaPerClient > 0 || *ratePerClient > 0 || *sessionTTL > 0 || *journalDir != "" || *maxSessions > 0
 	if sessions && *quota > 0 {
 		log.Print("-quota is the sessionless global budget; with sessions use -quota-per-client")
 		os.Exit(2)
@@ -118,10 +124,12 @@ func main() {
 	var opts []httpserver.Option
 	if sessions {
 		opts = append(opts, httpserver.WithSessions(session.Config{
-			Quota:       *quotaPerClient,
-			TTL:         *sessionTTL,
-			MaxSessions: *maxSessions,
-			JournalDir:  *journalDir,
+			Quota:         *quotaPerClient,
+			RatePerSecond: *ratePerClient,
+			RateBurst:     *rateBurst,
+			TTL:           *sessionTTL,
+			MaxSessions:   *maxSessions,
+			JournalDir:    *journalDir,
 		}))
 	} else if *quota > 0 {
 		opts = append(opts, httpserver.WithQuota(*quota))
@@ -134,16 +142,20 @@ func main() {
 	}
 	log.Printf("serving %s (n=%d, k=%d, max duplicates=%d, shards=%d, quota mode=%s) on %s",
 		ds.Name, ds.N(), *k, ds.Tuples.MaxMultiplicity(), srv.Shards(), mode, *addr)
+	// A clean shutdown persists live sessions' journals, so resumable
+	// crawls survive a server restart, not just an eviction. The signal
+	// ctx is also every request's base context: on SIGINT the in-flight
+	// crawls and batches cancel at their next query boundary (their paid
+	// prefixes are journaled), so Shutdown drains promptly instead of
+	// waiting out a long-running /crawl stream.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	server := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return ctx },
 	}
-
-	// A clean shutdown persists live sessions' journals, so resumable
-	// crawls survive a server restart, not just an eviction.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- server.ListenAndServe() }()
 	select {

@@ -1,0 +1,161 @@
+package hidb_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"hidb"
+)
+
+// bigMixed builds a dataset large enough that crawls take hundreds of
+// queries, so mid-stream behaviours are observable.
+func bigMixed(t *testing.T) *hidb.Dataset {
+	t.Helper()
+	ds := hidb.AdultNumeric(3)
+	return ds
+}
+
+// TestCrawlSeqMatchesCrawl: consuming the whole stream yields exactly
+// Crawl's tuples, in order — streaming is delivery, not a different
+// algorithm.
+func TestCrawlSeqMatchesCrawl(t *testing.T) {
+	ds := bigMixed(t)
+	k := 1000
+	srv, err := hidb.NewLocalServer(ds.Schema, ds.Tuples, k, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := hidb.Crawl(context.Background(), srv, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got hidb.Bag
+	for tuple, err := range hidb.CrawlSeq(context.Background(), srv, nil) {
+		if err != nil {
+			t.Fatalf("stream error: %v", err)
+		}
+		got = append(got, tuple)
+	}
+	if len(got) != len(want.Tuples) {
+		t.Fatalf("stream yielded %d tuples, Crawl returned %d", len(got), len(want.Tuples))
+	}
+	for i := range got {
+		if !got[i].Equal(want.Tuples[i]) {
+			t.Fatalf("stream tuple %d differs from Crawl's", i)
+		}
+	}
+}
+
+// TestCrawlSeqBreakCancels: breaking the range loop stops the crawl — the
+// server sees no further queries once the consumer walks away.
+func TestCrawlSeqBreakCancels(t *testing.T) {
+	ds := bigMixed(t)
+	srv, err := hidb.NewLocalServer(ds.Schema, ds.Tuples, 500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := hidb.Crawl(context.Background(), srv, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queries := 0
+	count := func(hidb.CurvePoint) { queries++ }
+	got := 0
+	for _, err := range hidb.CrawlSeq(context.Background(), srv, &hidb.CrawlOptions{OnProgress: count}) {
+		if err != nil {
+			t.Fatalf("stream error: %v", err)
+		}
+		if got++; got == 5 {
+			break
+		}
+	}
+	// CrawlSeq returns only after the cancelled crawl has wound down, so
+	// the counter is final here.
+	if queries >= full.Queries {
+		t.Fatalf("broken stream still paid %d of %d queries — break did not cancel", queries, full.Queries)
+	}
+}
+
+// TestCrawlSeqQuotaPartialError: a stream dying on the server's budget
+// ends with one PartialCrawlError wrapping ErrQuotaExceeded and carrying
+// the paid cost; the tuples before it are a valid prefix.
+func TestCrawlSeqQuotaPartialError(t *testing.T) {
+	ds := bigMixed(t)
+	srv, err := hidb.NewLocalServer(ds.Schema, ds.Tuples, 500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 7
+	limited, err := hidb.NewRateLimitedServer(srv, 1e9, 1<<20) // effectively unthrottled
+	if err != nil {
+		t.Fatal(err)
+	}
+	quotaed := newFacadeQuota(limited, budget)
+
+	var tuples int
+	var finalErr error
+	for _, err := range hidb.CrawlSeq(context.Background(), quotaed, nil) {
+		if err != nil {
+			finalErr = err
+			continue
+		}
+		tuples++
+	}
+	if !errors.Is(finalErr, hidb.ErrQuotaExceeded) {
+		t.Fatalf("terminal error = %v, want ErrQuotaExceeded", finalErr)
+	}
+	var pe *hidb.PartialCrawlError
+	if !errors.As(finalErr, &pe) {
+		t.Fatalf("terminal error %T does not carry the partial cost", finalErr)
+	}
+	if pe.Queries != budget {
+		t.Errorf("partial error reports %d paid queries, want the %d budget", pe.Queries, budget)
+	}
+}
+
+// TestCrawlSeqCancelledCtx: an already-cancelled ctx produces no tuples,
+// just the terminal error.
+func TestCrawlSeqCancelledCtx(t *testing.T) {
+	ds := bigMixed(t)
+	srv, err := hidb.NewLocalServer(ds.Schema, ds.Tuples, 500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var finalErr error
+	for _, err := range hidb.CrawlSeq(ctx, srv, nil) {
+		if err != nil {
+			finalErr = err
+			continue
+		}
+		t.Fatal("cancelled stream yielded a tuple")
+	}
+	if !errors.Is(finalErr, context.Canceled) {
+		t.Fatalf("terminal error = %v, want context.Canceled", finalErr)
+	}
+}
+
+// facadeQuota is a minimal budget wrapper through the public API (the
+// library's own Quota lives in an internal package).
+type facadeQuota struct {
+	inner  hidb.Server
+	budget int
+}
+
+func newFacadeQuota(inner hidb.Server, budget int) hidb.Server {
+	return hidb.BatchedServer(&facadeQuota{inner: inner, budget: budget})
+}
+
+func (f *facadeQuota) Answer(q hidb.Query) (hidb.QueryResult, error) {
+	if f.budget <= 0 {
+		return hidb.QueryResult{}, hidb.ErrQuotaExceeded
+	}
+	f.budget--
+	return f.inner.Answer(context.Background(), q)
+}
+func (f *facadeQuota) K() int               { return f.inner.K() }
+func (f *facadeQuota) Schema() *hidb.Schema { return f.inner.Schema() }

@@ -2,6 +2,7 @@ package hidb_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -22,7 +23,7 @@ func ExampleCrawl() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := hidb.Crawl(srv, nil)
+	res, err := hidb.Crawl(context.Background(), srv, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func ExampleNewCrawler() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := crawler.Crawl(srv, nil)
+	res, err := crawler.Crawl(context.Background(), srv, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func ExampleWithJournal() {
 		srv, _ := hidb.NewLocalServer(schema, bag, 8, 42)
 		quotaed := quota{inner: srv, budget: 20}
 		wrapped, _ := hidb.WithJournal(hidb.BatchedServer(&quotaed), jnl)
-		_, err := hidb.Crawl(wrapped, nil)
+		_, err := hidb.Crawl(context.Background(), wrapped, nil)
 		fmt.Println("session 1:", err != nil)
 		jnl.WriteTo(&snapshot) // persist state between sessions
 	}
@@ -87,7 +88,7 @@ func ExampleWithJournal() {
 		jnl, _ := hidb.ReadJournal(&snapshot)
 		srv, _ := hidb.NewLocalServer(schema, bag, 8, 42)
 		wrapped, _ := hidb.WithJournal(srv, jnl)
-		res, err := hidb.Crawl(wrapped, nil)
+		res, err := hidb.Crawl(context.Background(), wrapped, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -111,10 +112,35 @@ func (q *quota) Answer(query hidb.Query) (hidb.QueryResult, error) {
 		return hidb.QueryResult{}, hidb.ErrQuotaExceeded
 	}
 	q.budget--
-	return q.inner.Answer(query)
+	return q.inner.Answer(context.Background(), query)
 }
 func (q *quota) K() int               { return q.inner.K() }
 func (q *quota) Schema() *hidb.Schema { return q.inner.Schema() }
+
+// ExampleCrawlSeq consumes a crawl as a stream: tuples arrive in
+// extraction order, and breaking out of the loop cancels the crawl.
+func ExampleCrawlSeq() {
+	schema := hidb.MustSchema([]hidb.Attribute{
+		{Name: "Price", Kind: hidb.Numeric, Min: 0, Max: 10000},
+	})
+	var bag hidb.Bag
+	for v := int64(0); v < 100; v++ {
+		bag = append(bag, hidb.Tuple{v * 97})
+	}
+	srv, _ := hidb.NewLocalServer(schema, bag, 8, 42)
+
+	streamed := 0
+	for _, err := range hidb.CrawlSeq(context.Background(), srv, nil) {
+		if err != nil {
+			log.Fatal(err) // a *hidb.PartialCrawlError carrying the paid cost
+		}
+		if streamed++; streamed == 10 {
+			break // enough: cancels the crawl, no goroutines left behind
+		}
+	}
+	fmt.Println("streamed:", streamed)
+	// Output: streamed: 10
+}
 
 // ExampleParallelCrawler keeps several queries in flight: same query cost,
 // wall-clock divided by the effective parallelism.
@@ -128,8 +154,8 @@ func ExampleParallelCrawler() {
 	}
 	srv, _ := hidb.NewLocalServer(schema, bag, 16, 42)
 
-	seq, _ := hidb.Crawl(srv, nil)
-	par, err := hidb.ParallelCrawler(8).Crawl(srv, nil)
+	seq, _ := hidb.Crawl(context.Background(), srv, nil)
+	par, err := hidb.ParallelCrawler(8).Crawl(context.Background(), srv, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -33,7 +34,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := hidb.Crawl(srv, nil)
+		res, err := hidb.Crawl(context.Background(), srv, nil)
 		if errors.Is(err, hidb.ErrUnsolvable) {
 			fmt.Printf("  k=%-5d unsolvable (a point holds >%d duplicates)\n", k, k)
 			continue
@@ -62,7 +63,7 @@ func main() {
 		}
 		return valid[[2]int64{b.Value, m.Value}]
 	}
-	res, err := hidb.Crawl(srv, &hidb.CrawlOptions{QueryFilter: filter, CollectCurve: true})
+	res, err := hidb.Crawl(context.Background(), srv, &hidb.CrawlOptions{QueryFilter: filter, CollectCurve: true})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -32,7 +33,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := crawler.Crawl(srv, nil)
+		res, err := crawler.Crawl(context.Background(), srv, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -58,7 +59,7 @@ func main() {
 		log.Fatal(err)
 	}
 	var got int
-	_, err = crawler.Crawl(hidb.BatchedServer(quotaed), &hidb.CrawlOptions{
+	_, err = crawler.Crawl(context.Background(), hidb.BatchedServer(quotaed), &hidb.CrawlOptions{
 		OnProgress: func(p hidb.CurvePoint) { got = p.Tuples },
 	})
 	if errors.Is(err, hidb.ErrQuotaExceeded) {
@@ -71,9 +72,10 @@ func main() {
 
 // quotaServer adapts a server to fail after budget queries, like a site's
 // per-IP limit. (The library ships the same wrapper as hiddendb.Quota; it
-// is re-implemented here to show the Server interface is trivial to wrap:
-// implement the single-query contract and upgrade it with
-// hidb.BatchedServer.)
+// is re-implemented here to show that a wrapper written against the legacy
+// single-query, context-free contract still works: implement SingleServer
+// and upgrade it with hidb.BatchedServer, which adds the batch and
+// cancellation plumbing.)
 type quotaServer struct {
 	inner  hidb.Server
 	budget int
@@ -88,7 +90,7 @@ func (q *quotaServer) Answer(query hidb.Query) (hidb.QueryResult, error) {
 		return hidb.QueryResult{}, hidb.ErrQuotaExceeded
 	}
 	q.budget--
-	return q.inner.Answer(query)
+	return q.inner.Answer(context.Background(), query)
 }
 
 func (q *quotaServer) K() int               { return q.inner.K() }

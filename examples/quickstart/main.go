@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,7 +45,7 @@ func main() {
 
 	// Crawl picks the right algorithm for the schema (hybrid here, since
 	// the space mixes categorical and numeric attributes).
-	res, err := hidb.Crawl(srv, nil)
+	res, err := hidb.Crawl(context.Background(), srv, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

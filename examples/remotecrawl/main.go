@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -49,14 +50,15 @@ func main() {
 	// Client one: alice discovers the form schema and runs the optimal
 	// crawler across the wire — every query is an HTTP round trip against
 	// her own session's budget.
-	alice, err := hidb.DialHTTPToken(base, "alice", nil)
+	ctx := context.Background()
+	alice, err := hidb.DialHTTPToken(ctx, base, "alice", nil)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("discovered schema: %s\n\n", alice.Schema())
 
 	start := time.Now()
-	res, err := hidb.Crawl(alice, nil)
+	res, err := hidb.Crawl(ctx, alice, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,13 +69,13 @@ func main() {
 	// Client two: bob hands the work to the server — POST /crawl streams
 	// every extracted tuple with his session's paid query count, all in a
 	// single round trip. His budget is untouched by alice's crawl.
-	bob, err := hidb.DialHTTPToken(base, "bob", nil)
+	bob, err := hidb.DialHTTPToken(ctx, base, "bob", nil)
 	if err != nil {
 		log.Fatal(err)
 	}
 	start = time.Now()
 	events := 0
-	stream, err := bob.Crawl("", func(ev hidb.RemoteCrawlEvent) { events++ })
+	stream, err := bob.Crawl(ctx, "", 0, func(ev hidb.RemoteCrawlEvent) { events++ })
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -81,10 +83,39 @@ func main() {
 		len(stream.Tuples), stream.Queries, time.Since(start).Round(time.Millisecond), events)
 	fmt.Printf("complete: %v\n\n", stream.Tuples.EqualMultiset(ds.Tuples))
 
+	// Client three: carol consumes the same stream as a Go iterator,
+	// hangs up a quarter of the way in — cancelling only her own
+	// server-side crawl; everything she paid for is journaled — and then
+	// resumes with the skip cursor: the second stream replays her journal
+	// for free and delivers only the tuples she has not seen.
+	carol, err := hidb.DialHTTPToken(ctx, base, "carol", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var head hidb.Bag
+	cutoff := ds.N() / 4
+	for t, err := range carol.CrawlSeq(ctx, "", 0) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		head = append(head, t)
+		if len(head) == cutoff {
+			break // tears down the stream; the server cancels carol's crawl
+		}
+	}
+	rest, err := carol.Crawl(ctx, "", len(head), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	combined := append(head, rest.Tuples...)
+	fmt.Printf("carol (CrawlSeq + resume cursor): broke off after %d tuples, resumed %d more in %d total queries\n",
+		cutoff, len(rest.Tuples), rest.Queries)
+	fmt.Printf("complete: %v\n\n", combined.EqualMultiset(ds.Tuples))
+
 	// Both clients paid exactly the in-process reference cost: the
 	// algorithms never depend on where the server lives — or on who else
 	// is crawling it.
-	inproc, err := hidb.Crawl(local, nil)
+	inproc, err := hidb.Crawl(ctx, local, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -20,12 +20,31 @@
 //		{Name: "Price", Kind: hidb.Numeric, Min: 200, Max: 250000},
 //	})
 //	srv, _ := hidb.NewLocalServer(schema, tuples, 1000, 42)
-//	res, err := hidb.Crawl(srv, nil) // picks the paper's optimal algorithm
+//	res, err := hidb.Crawl(ctx, srv, nil) // picks the paper's optimal algorithm
 //	// res.Tuples is the complete database; res.Queries the cost.
+//
+// Every entry point takes a context.Context first: cancel it and the crawl
+// stops between queries (a journaled crawl resumes later, paying only for
+// what never ran), give it a deadline and every remote round trip is
+// bounded. Callers that do not need cancellation pass context.Background().
+//
+// For incremental consumption, CrawlSeq streams the same extraction as a
+// Go iterator instead of buffering the bag:
+//
+//	for t, err := range hidb.CrawlSeq(ctx, srv, nil) {
+//		if err != nil {
+//			var pe *hidb.PartialCrawlError // carries the cost already paid
+//			// errors.As(err, &pe); resume later via a journal.
+//			break
+//		}
+//		consume(t) // tuples arrive in extraction order; break cancels
+//	}
 //
 // To crawl a remote hidden database, expose it with NewHTTPHandler on the
 // serving side and DialHTTP on the crawling side; every algorithm runs
-// unmodified against the remote connection.
+// unmodified against the remote connection. RemoteClient.CrawlSeq is the
+// wire form of CrawlSeq — the server runs the algorithm and streams the
+// tuples — with a resume cursor for reconnecting after a broken stream.
 //
 // # Batched serving
 //
@@ -34,16 +53,21 @@
 // through Answer, so the query count — the paper's cost metric — never
 // depends on how queries are packed, while B batched queries cost a single
 // round trip (one POST /batch over HTTP, one delay under a latency model,
-// one fan-out over a sharded store). ParallelCrawler drains its ready
-// queries into such batches automatically. Custom wrappers written against
-// the single-query contract still work: upgrade them with BatchedServer.
+// one fan-out over a sharded store). Cancellation obeys the same
+// invariant from the other side: a cancelled batch ends at an answered
+// prefix, and a query cut off by ctx was never served, never charged.
+// ParallelCrawler drains its ready queries into such batches
+// automatically. Custom wrappers written against the pre-context
+// single-query contract still work: upgrade them with BatchedServer.
 // For serving many concurrent crawls from one process, NewShardedLocalServer
 // partitions the store into priority-range shards that answer batches in
 // parallel, each with its own scratch memory.
 package hidb
 
 import (
+	"context"
 	"io"
+	"iter"
 	"net/http"
 
 	"hidb/internal/core"
@@ -87,11 +111,13 @@ const (
 // Server-side types. See the hiddendb package.
 type (
 	// Server is the query interface of a hidden database: single queries
-	// via Answer, batches via AnswerBatch (a batch is answered as if
-	// issued sequentially).
+	// via Answer(ctx, q), batches via AnswerBatch(ctx, qs) (a batch is
+	// answered as if issued sequentially; a cancelled ctx ends it at an
+	// answered prefix).
 	Server = hiddendb.Server
-	// SingleServer is the pre-batching server contract (Answer/K/Schema
-	// only); upgrade implementations with BatchedServer.
+	// SingleServer is the legacy pre-context, pre-batching server
+	// contract (Answer(q)/K/Schema only); upgrade implementations with
+	// BatchedServer.
 	SingleServer = hiddendb.Single
 	// QueryResult is a server's response to one query.
 	QueryResult = hiddendb.Result
@@ -99,11 +125,21 @@ type (
 	LocalServer = hiddendb.Local
 )
 
-// BatchedServer upgrades a single-query server implementation to the full
-// batched Server contract: AnswerBatch loops over Answer, which trivially
-// preserves the batch-equals-sequential semantics. A server that already
-// implements Server is returned unchanged.
+// BatchedServer upgrades a legacy single-query server implementation to
+// the full batched, context-aware Server contract: AnswerBatch loops over
+// Answer — which trivially preserves the batch-equals-sequential
+// semantics — and the ctx is checked before every inner call, so even a
+// context-oblivious implementation cancels between queries.
 func BatchedServer(s SingleServer) Server { return hiddendb.Batched(s) }
+
+// NewRateLimitedServer wraps srv with a token-bucket rate limit: at most
+// perSecond queries per second sustained, bursts of up to burst after idle
+// periods (values below 1 are raised to 1). Waiting respects the query's
+// ctx, so throttled crawls cancel promptly. Rate limiting delays queries;
+// it never changes their responses or count.
+func NewRateLimitedServer(srv Server, perSecond float64, burst int) (Server, error) {
+	return hiddendb.NewRateLimited(srv, perSecond, burst)
+}
 
 // Crawler-side types. See the core package.
 type (
@@ -175,9 +211,30 @@ func CrawlerNames() []string { return core.Names() }
 func BestCrawler(s *Schema) Crawler { return core.ForSchema(s) }
 
 // Crawl extracts the entire hidden database behind srv using the paper's
-// recommended algorithm for the server's schema.
-func Crawl(srv Server, opts *CrawlOptions) (*CrawlResult, error) {
-	return core.ForSchema(srv.Schema()).Crawl(srv, opts)
+// recommended algorithm for the server's schema. Cancelling ctx stops the
+// crawl between queries with the ctx's error; with a live ctx the query
+// count is exactly the algorithm's.
+func Crawl(ctx context.Context, srv Server, opts *CrawlOptions) (*CrawlResult, error) {
+	return core.ForSchema(srv.Schema()).Crawl(ctx, srv, opts)
+}
+
+// PartialCrawlError is the terminal error of a CrawlSeq stream: the
+// underlying failure (inspect with errors.Is/As — e.g. ErrQuotaExceeded or
+// the ctx's cancellation error) plus Queries, the cost already paid when
+// the crawl stopped. The tuples yielded before it are a valid prefix of
+// the extraction.
+type PartialCrawlError = core.PartialError
+
+// CrawlSeq is the streaming form of Crawl: it extracts the database with
+// the paper's recommended algorithm and yields every tuple as it is
+// retrieved, in exactly the order (and number) Crawl's Result.Tuples would
+// hold. Breaking out of the range loop cancels the crawl and waits for it
+// to wind down; a crawl that cannot finish yields one final (nil,
+// *PartialCrawlError) pair. Streaming is delivery, not a different
+// algorithm: consuming the whole stream costs exactly Crawl's query
+// count.
+func CrawlSeq(ctx context.Context, srv Server, opts *CrawlOptions) iter.Seq2[Tuple, error] {
+	return core.CrawlSeq(ctx, core.ForSchema(srv.Schema()), srv, opts)
 }
 
 // NewHTTPHandler exposes a Server over HTTP (GET /schema, POST /query,
@@ -193,9 +250,9 @@ func NewHTTPHandler(srv Server, quota int) http.Handler {
 }
 
 // SessionConfig tunes per-client HTTP sessions: each API token's query
-// budget, the TTL of the budget window, the live-session cap, and the
-// directory journals persist to across evictions (see the session
-// package).
+// budget, its sustained queries-per-second rate limit, the TTL of the
+// budget window, the live-session cap, and the directory journals persist
+// to across evictions (see the session package).
 type SessionConfig = session.Config
 
 // NewSessionHTTPHandler exposes a Server over HTTP with per-client
@@ -208,15 +265,17 @@ func NewSessionHTTPHandler(srv Server, cfg SessionConfig) http.Handler {
 }
 
 // DialHTTP connects to a remote hidden database served by NewHTTPHandler
-// and returns it as a Server every algorithm can crawl. A nil httpClient
-// uses http.DefaultClient.
-func DialHTTP(baseURL string, httpClient *http.Client) (Server, error) {
-	return httpclient.Dial(baseURL, httpClient)
+// and returns it as a Server every algorithm can crawl. The ctx bounds the
+// initial schema fetch; every later round trip carries its own. A nil
+// httpClient uses http.DefaultClient.
+func DialHTTP(ctx context.Context, baseURL string, httpClient *http.Client) (Server, error) {
+	return httpclient.Dial(ctx, baseURL, httpClient)
 }
 
 // RemoteClient is the concrete HTTP client: a Server (Answer/AnswerBatch
-// round trips) that can also consume the server-side streaming /crawl
-// endpoint via its Crawl method.
+// round trips under the caller's ctx) that can also consume the
+// server-side streaming /crawl endpoint via its Crawl and CrawlSeq
+// methods, including the resume cursor for reconnecting mid-extraction.
 type RemoteClient = httpclient.Client
 
 // RemoteCrawlEvent is one NDJSON line of the /crawl progress stream.
@@ -228,10 +287,10 @@ type RemoteCrawlResult = httpclient.CrawlResult
 // DialHTTPToken connects like DialHTTP but identifies the client with an
 // API token (sent as "Authorization: Bearer" on every request): against a
 // per-session server, quota, journal and query counters are then private
-// to this client. The concrete client is returned so its Crawl method —
-// the streaming server-side crawl — is reachable.
-func DialHTTPToken(baseURL, token string, httpClient *http.Client) (*RemoteClient, error) {
-	return httpclient.DialToken(baseURL, token, httpClient)
+// to this client. The concrete client is returned so its Crawl and
+// CrawlSeq methods — the streaming server-side crawl — are reachable.
+func DialHTTPToken(ctx context.Context, baseURL, token string, httpClient *http.Client) (*RemoteClient, error) {
+	return httpclient.DialToken(ctx, baseURL, token, httpClient)
 }
 
 // ParallelCrawler returns a crawler that keeps up to workers queries in

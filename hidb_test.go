@@ -1,6 +1,7 @@
 package hidb_test
 
 import (
+	"context"
 	"errors"
 	"net/http/httptest"
 	"testing"
@@ -28,7 +29,7 @@ func TestCrawlPicksAlgorithmAndCompletes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := hidb.Crawl(srv, nil)
+	res, err := hidb.Crawl(context.Background(), srv, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestUnsolvableSurfaced(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = hidb.Crawl(srv, nil)
+	_, err = hidb.Crawl(context.Background(), srv, nil)
 	if !errors.Is(err, hidb.ErrUnsolvable) {
 		t.Fatalf("err = %v, want ErrUnsolvable", err)
 	}
@@ -89,11 +90,11 @@ func TestHTTPEndToEndThroughFacade(t *testing.T) {
 	ts := httptest.NewServer(hidb.NewHTTPHandler(srv, 0))
 	defer ts.Close()
 
-	remote, err := hidb.DialHTTP(ts.URL, nil)
+	remote, err := hidb.DialHTTP(context.Background(), ts.URL, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := hidb.Crawl(remote, nil)
+	res, err := hidb.Crawl(context.Background(), remote, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,11 +110,11 @@ func TestHTTPQuotaThroughFacade(t *testing.T) {
 	}
 	ts := httptest.NewServer(hidb.NewHTTPHandler(srv, 2))
 	defer ts.Close()
-	remote, err := hidb.DialHTTP(ts.URL, nil)
+	remote, err := hidb.DialHTTP(context.Background(), ts.URL, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = hidb.Crawl(remote, nil)
+	_, err = hidb.Crawl(context.Background(), remote, nil)
 	if !errors.Is(err, hidb.ErrQuotaExceeded) {
 		t.Fatalf("err = %v, want ErrQuotaExceeded", err)
 	}

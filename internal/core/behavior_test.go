@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"testing/quick"
@@ -74,7 +75,7 @@ func TestWrongSpaceRejected(t *testing.T) {
 	}
 	for _, c := range cases {
 		srv := newServer(t, c.ds, 32, 1)
-		if _, err := c.alg.Crawl(srv, nil); !errors.Is(err, ErrWrongSpace) {
+		if _, err := c.alg.Crawl(context.Background(), srv, nil); !errors.Is(err, ErrWrongSpace) {
 			t.Errorf("%s on %s: err = %v, want ErrWrongSpace", c.alg.Name(), c.ds.Schema, err)
 		}
 	}
@@ -88,7 +89,7 @@ func TestBinaryShrinkNeedsBounds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := (BinaryShrink{}).Crawl(srv, nil); !errors.Is(err, ErrWrongSpace) {
+	if _, err := (BinaryShrink{}).Crawl(context.Background(), srv, nil); !errors.Is(err, ErrWrongSpace) {
 		t.Errorf("unbounded attribute: err = %v, want ErrWrongSpace", err)
 	}
 }
@@ -105,7 +106,7 @@ func TestRankShrinkHandlesUnboundedDomains(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := (RankShrink{}).Crawl(srv, nil)
+	res, err := (RankShrink{}).Crawl(context.Background(), srv, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestEmptyDatabase(t *testing.T) {
 	}
 	for _, c := range cases {
 		srv := newServer(t, c.ds, 8, 1)
-		res, err := c.alg.Crawl(srv, nil)
+		res, err := c.alg.Crawl(context.Background(), srv, nil)
 		if err != nil {
 			t.Fatalf("%s on empty db: %v", c.alg.Name(), err)
 		}
@@ -162,7 +163,7 @@ func TestOnProgressMonotone(t *testing.T) {
 	srv := newServer(t, ds, 32, 42)
 	var last CurvePoint
 	calls := 0
-	res, err := (Hybrid{}).Crawl(srv, &Options{
+	res, err := (Hybrid{}).Crawl(context.Background(), srv, &Options{
 		OnProgress: func(p CurvePoint) {
 			calls++
 			if p.Queries < last.Queries || p.Tuples < last.Tuples {
@@ -185,7 +186,7 @@ func TestOnProgressMonotone(t *testing.T) {
 func TestCollectCurve(t *testing.T) {
 	ds := mixedDS(t, 3000, 9)
 	srv := newServer(t, ds, 32, 42)
-	res, err := (Hybrid{}).Crawl(srv, &Options{CollectCurve: true})
+	res, err := (Hybrid{}).Crawl(context.Background(), srv, &Options{CollectCurve: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +200,7 @@ func TestCollectCurve(t *testing.T) {
 	}
 	// Without the flag, no curve is collected.
 	srv2 := newServer(t, ds, 32, 42)
-	res2, err := (Hybrid{}).Crawl(srv2, nil)
+	res2, err := (Hybrid{}).Crawl(context.Background(), srv2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +213,7 @@ func TestQuotaErrorPropagates(t *testing.T) {
 	ds := mixedDS(t, 3000, 10)
 	srv := newServer(t, ds, 16, 42)
 	quota := hiddendb.NewQuota(srv, 10)
-	_, err := (Hybrid{}).Crawl(quota, nil)
+	_, err := (Hybrid{}).Crawl(context.Background(), quota, nil)
 	if !errors.Is(err, hiddendb.ErrQuotaExceeded) {
 		t.Fatalf("err = %v, want ErrQuotaExceeded", err)
 	}
@@ -237,7 +238,7 @@ func TestDependencyFilterSkipsAndStaysComplete(t *testing.T) {
 	}
 	plain := crawl(t, Hybrid{}, ds, 16, nil)
 	srv := newServer(t, ds, 16, 42)
-	res, err := (Hybrid{}).Crawl(srv, &Options{QueryFilter: filter})
+	res, err := (Hybrid{}).Crawl(context.Background(), srv, &Options{QueryFilter: filter})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,7 +319,7 @@ func TestPropertyAllAlgorithmsComplete(t *testing.T) {
 			return false
 		}
 		for _, alg := range []Crawler{Hybrid{}, Hybrid{EagerSlices: true}} {
-			res, err := alg.Crawl(srv, nil)
+			res, err := alg.Crawl(context.Background(), srv, nil)
 			if err != nil {
 				return false
 			}
@@ -356,7 +357,7 @@ func TestPropertyNumericComplete(t *testing.T) {
 			return false
 		}
 		for _, alg := range []Crawler{RankShrink{}, BinaryShrink{}} {
-			res, err := alg.Crawl(srv, nil)
+			res, err := alg.Crawl(context.Background(), srv, nil)
 			if err != nil {
 				return false
 			}
@@ -395,7 +396,7 @@ func TestPropertyCategoricalComplete(t *testing.T) {
 			return false
 		}
 		for _, alg := range []Crawler{DFS{}, SliceCover{}, LazySliceCover{}} {
-			res, err := alg.Crawl(srv, nil)
+			res, err := alg.Crawl(context.Background(), srv, nil)
 			if err != nil {
 				return false
 			}

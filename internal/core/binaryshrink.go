@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"hidb/internal/dataspace"
@@ -25,7 +26,7 @@ func (BinaryShrink) Name() string { return "binary-shrink" }
 
 // Crawl implements Crawler. The server's schema must be purely numeric with
 // declared bounds on every attribute.
-func (BinaryShrink) Crawl(srv hiddendb.Server, opts *Options) (*Result, error) {
+func (BinaryShrink) Crawl(ctx context.Context, srv hiddendb.Server, opts *Options) (*Result, error) {
 	sch := srv.Schema()
 	if !sch.IsNumeric() {
 		return nil, ErrWrongSpace
@@ -36,7 +37,7 @@ func (BinaryShrink) Crawl(srv hiddendb.Server, opts *Options) (*Result, error) {
 			return nil, fmt.Errorf("binary-shrink: numeric attribute %q needs declared Min/Max bounds: %w", a.Name, ErrWrongSpace)
 		}
 	}
-	s := newSession(srv, opts, false)
+	s := newSession(ctx, srv, opts, false)
 
 	// Start from the bounding rectangle declared by the schema.
 	q := dataspace.UniverseQuery(sch)

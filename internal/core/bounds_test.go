@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"hidb/internal/datagen"
@@ -12,7 +13,7 @@ import (
 func crawl(t *testing.T, c Crawler, ds *datagen.Dataset, k int, opts *Options) *Result {
 	t.Helper()
 	srv := newServer(t, ds, k, 42)
-	res, err := c.Crawl(srv, opts)
+	res, err := c.Crawl(context.Background(), srv, opts)
 	if err != nil {
 		t.Fatalf("%s on %s (k=%d): %v", c.Name(), ds.Name, k, err)
 	}

@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -96,14 +97,21 @@ type Result struct {
 type Crawler interface {
 	// Name returns the algorithm's name as used in the paper.
 	Name() string
-	// Crawl retrieves the entire hidden database behind srv.
-	Crawl(srv hiddendb.Server, opts *Options) (*Result, error)
+	// Crawl retrieves the entire hidden database behind srv. Cancelling
+	// ctx stops the crawl between queries with the ctx's error; queries
+	// already answered were paid for (and, behind a journal wrapper,
+	// recorded), so a cancelled crawl resumes where it stopped.
+	// Cancellation never changes which queries a completing crawl issues —
+	// with a live ctx the query count is bit-identical to the pre-context
+	// contract's.
+	Crawl(ctx context.Context, srv hiddendb.Server, opts *Options) (*Result, error)
 }
 
-// session carries the shared machinery of one crawl: the counting (and
-// possibly caching) view of the server, the output bag, and progress
-// bookkeeping.
+// session carries the shared machinery of one crawl: the crawl's context,
+// the counting (and possibly caching) view of the server, the output bag,
+// and progress bookkeeping.
 type session struct {
+	ctx      context.Context
 	srv      hiddendb.Server
 	counting *hiddendb.Counting
 	schema   *dataspace.Schema
@@ -127,7 +135,7 @@ func (s *session) splitThreshold() int {
 
 // newSession wraps srv in a counter and, when cached is true, a memo table
 // on top of the counter so repeated queries are free.
-func newSession(srv hiddendb.Server, opts *Options, cached bool) *session {
+func newSession(ctx context.Context, srv hiddendb.Server, opts *Options, cached bool) *session {
 	if opts == nil {
 		opts = &Options{}
 	}
@@ -137,6 +145,7 @@ func newSession(srv hiddendb.Server, opts *Options, cached bool) *session {
 		view = hiddendb.NewCaching(counting)
 	}
 	return &session{
+		ctx:      ctx,
 		srv:      view,
 		counting: counting,
 		schema:   srv.Schema(),
@@ -149,14 +158,19 @@ func newSession(srv hiddendb.Server, opts *Options, cached bool) *session {
 var emptyResult = hiddendb.Result{}
 
 // issue sends q to the server (or suppresses it per the dependency
-// heuristic) and records progress.
+// heuristic) and records progress. The ctx is consulted first, so a
+// cancelled crawl stops promptly even through a streak of free cache hits
+// or suppressed queries.
 func (s *session) issue(q dataspace.Query) (hiddendb.Result, error) {
+	if err := s.ctx.Err(); err != nil {
+		return emptyResult, err
+	}
 	if s.opts.QueryFilter != nil && !s.opts.QueryFilter(q) {
 		s.skipped++
 		return emptyResult, nil
 	}
 	before := s.counting.Queries()
-	res, err := s.srv.Answer(q)
+	res, err := s.srv.Answer(s.ctx, q)
 	if err != nil {
 		return res, err
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"hidb/internal/dataspace"
 	"hidb/internal/hiddendb"
 )
@@ -15,12 +17,12 @@ type DFS struct{}
 func (DFS) Name() string { return "dfs" }
 
 // Crawl implements Crawler. The server's schema must be purely categorical.
-func (DFS) Crawl(srv hiddendb.Server, opts *Options) (*Result, error) {
+func (DFS) Crawl(ctx context.Context, srv hiddendb.Server, opts *Options) (*Result, error) {
 	sch := srv.Schema()
 	if !sch.IsCategorical() {
 		return nil, ErrWrongSpace
 	}
-	s := newSession(srv, opts, false)
+	s := newSession(ctx, srv, opts, false)
 	if err := dfs(s, dataspace.UniverseQuery(sch), 0); err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"hidb/internal/dataspace"
 	"hidb/internal/hiddendb"
 )
@@ -32,20 +34,20 @@ func (h Hybrid) Name() string {
 }
 
 // Crawl implements Crawler. Any schema is accepted.
-func (h Hybrid) Crawl(srv hiddendb.Server, opts *Options) (*Result, error) {
+func (h Hybrid) Crawl(ctx context.Context, srv hiddendb.Server, opts *Options) (*Result, error) {
 	sch := srv.Schema()
 	cat := sch.Cat()
 
 	if cat == 0 {
 		// Purely numeric: hybrid degenerates to rank-shrink.
-		s := newSession(srv, opts, false)
+		s := newSession(ctx, srv, opts, false)
 		if err := rankShrink(s, dataspace.UniverseQuery(sch)); err != nil {
 			return nil, err
 		}
 		return s.finish(), nil
 	}
 
-	s := newSession(srv, opts, true)
+	s := newSession(ctx, srv, opts, true)
 	oracle := sliceOracle{s: s}
 
 	if h.EagerSlices {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"hidb/internal/datagen"
@@ -24,7 +25,7 @@ func TestFigure3Example(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := (RankShrink{}).Crawl(srv, nil)
+	res, err := (RankShrink{}).Crawl(context.Background(), srv, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestNegativeAndExtremeValues(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := (RankShrink{}).Crawl(srv, nil)
+	res, err := (RankShrink{}).Crawl(context.Background(), srv, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -36,11 +37,11 @@ func (r RankShrink) Name() string {
 }
 
 // Crawl implements Crawler. The server's schema must be purely numeric.
-func (r RankShrink) Crawl(srv hiddendb.Server, opts *Options) (*Result, error) {
+func (r RankShrink) Crawl(ctx context.Context, srv hiddendb.Server, opts *Options) (*Result, error) {
 	if !srv.Schema().IsNumeric() {
 		return nil, ErrWrongSpace
 	}
-	s := newSession(srv, opts, false)
+	s := newSession(ctx, srv, opts, false)
 	denom := r.SplitDenom
 	if denom <= 0 {
 		denom = 4

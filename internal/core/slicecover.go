@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"hidb/internal/dataspace"
 	"hidb/internal/hiddendb"
 )
@@ -20,11 +22,11 @@ type SliceCover struct{}
 func (SliceCover) Name() string { return "slice-cover" }
 
 // Crawl implements Crawler. The server's schema must be purely categorical.
-func (SliceCover) Crawl(srv hiddendb.Server, opts *Options) (*Result, error) {
+func (SliceCover) Crawl(ctx context.Context, srv hiddendb.Server, opts *Options) (*Result, error) {
 	if !srv.Schema().IsCategorical() {
 		return nil, ErrWrongSpace
 	}
-	return sliceCoverCrawl(srv, opts, true)
+	return sliceCoverCrawl(ctx, srv, opts, true)
 }
 
 // LazySliceCover is slice-cover with the paper's laziness heuristic: slice
@@ -38,11 +40,11 @@ type LazySliceCover struct{}
 func (LazySliceCover) Name() string { return "lazy-slice-cover" }
 
 // Crawl implements Crawler. The server's schema must be purely categorical.
-func (LazySliceCover) Crawl(srv hiddendb.Server, opts *Options) (*Result, error) {
+func (LazySliceCover) Crawl(ctx context.Context, srv hiddendb.Server, opts *Options) (*Result, error) {
 	if !srv.Schema().IsCategorical() {
 		return nil, ErrWrongSpace
 	}
-	return sliceCoverCrawl(srv, opts, false)
+	return sliceCoverCrawl(ctx, srv, opts, false)
 }
 
 // sliceQuery builds the slice query "attr = value, wildcard elsewhere"
@@ -64,8 +66,8 @@ func (o sliceOracle) get(attr int, value int64) (hiddendb.Result, error) {
 
 // sliceCoverCrawl runs slice-cover (eager=true) or lazy-slice-cover
 // (eager=false) over a purely categorical server.
-func sliceCoverCrawl(srv hiddendb.Server, opts *Options, eager bool) (*Result, error) {
-	s := newSession(srv, opts, true) // memoized: repeated queries are free
+func sliceCoverCrawl(ctx context.Context, srv hiddendb.Server, opts *Options, eager bool) (*Result, error) {
+	s := newSession(ctx, srv, opts, true) // memoized: repeated queries are free
 	sch := s.schema
 	oracle := sliceOracle{s: s}
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -76,7 +77,7 @@ func TestSmokeAllAlgorithms(t *testing.T) {
 				continue // genuinely unsolvable at this k (§1.1)
 			}
 			srv := newServer(t, c.ds, k, 42)
-			res, err := c.crawler.Crawl(srv, nil)
+			res, err := c.crawler.Crawl(context.Background(), srv, nil)
 			if err != nil {
 				t.Fatalf("%s on %s (k=%d): %v", c.crawler.Name(), c.ds.Name, k, err)
 			}
@@ -103,7 +104,7 @@ func TestUnsolvableDetected(t *testing.T) {
 	}
 	srv := newServer(t, ds, 4, 1)
 	for _, c := range []Crawler{BinaryShrink{}, RankShrink{}, Hybrid{}} {
-		_, err := c.Crawl(srv, nil)
+		_, err := c.Crawl(context.Background(), srv, nil)
 		if !errors.Is(err, ErrUnsolvable) {
 			t.Errorf("%s: got err %v, want ErrUnsolvable", c.Name(), err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -112,7 +113,7 @@ func AblationDependencyFilter(cfg Config) (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Hybrid{}.Crawl(srv, &core.Options{QueryFilter: filter})
+		res, err := core.Hybrid{}.Crawl(context.Background(), srv, &core.Options{QueryFilter: filter})
 		if err != nil {
 			return nil, err
 		}
@@ -183,7 +184,7 @@ func AblationParallel(cfg Config, latency time.Duration) (*Figure, error) {
 		}
 		delayed := hiddendb.NewLatency(srv, latency)
 		start := time.Now()
-		res, err := parallel.Crawler{Workers: w}.Crawl(delayed, nil)
+		res, err := parallel.Crawler{Workers: w}.Crawl(context.Background(), delayed, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -133,7 +134,7 @@ func runCost(cfg Config, c core.Crawler, ds *datagen.Dataset, k int) (float64, e
 	if err != nil {
 		return 0, err
 	}
-	res, err := c.Crawl(srv, nil)
+	res, err := c.Crawl(context.Background(), srv, nil)
 	if err == core.ErrUnsolvable {
 		return Unsolvable, nil
 	}

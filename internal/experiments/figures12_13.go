@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"hidb/internal/core"
@@ -75,7 +76,7 @@ func ProgressCurve(cfg Config, ds *datagen.Dataset, k int) (progress.Curve, erro
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Hybrid{}.Crawl(srv, &core.Options{CollectCurve: true})
+	res, err := core.Hybrid{}.Crawl(context.Background(), srv, &core.Options{CollectCurve: true})
 	if err != nil {
 		return nil, err
 	}

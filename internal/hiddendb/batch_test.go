@@ -1,6 +1,7 @@
 package hiddendb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -78,13 +79,13 @@ func TestAnswerBatchMatchesSequential(t *testing.T) {
 		seq := mk()
 		want := make([]Result, len(qs))
 		for i, q := range qs {
-			res, err := seq.Answer(q)
+			res, err := seq.Answer(context.Background(), q)
 			if err != nil {
 				t.Fatalf("%s: sequential query %d: %v", name, i, err)
 			}
 			want[i] = res
 		}
-		got, err := mk().AnswerBatch(qs)
+		got, err := mk().AnswerBatch(context.Background(), qs)
 		if err != nil {
 			t.Fatalf("%s: AnswerBatch: %v", name, err)
 		}
@@ -116,8 +117,8 @@ func TestShardedLocalIdenticalToLocal(t *testing.T) {
 		t.Fatalf("Shards() = %d/%d, want 1/7", plain.Shards(), sharded.Shards())
 	}
 	for i, q := range batchQueries(sch, 100, 24) {
-		a, _ := plain.Answer(q)
-		b, _ := sharded.Answer(q)
+		a, _ := plain.Answer(context.Background(), q)
+		b, _ := sharded.Answer(context.Background(), q)
 		if !sameResult(a, b) {
 			t.Fatalf("query %d: sharded response differs from plain (query %s)", i, q)
 		}
@@ -140,7 +141,7 @@ func TestLocalBatchInvalidQuery(t *testing.T) {
 	})
 	good := dataspace.UniverseQuery(foreign)
 	bad := good.WithValue(0, 99) // outside the domain [1,4]
-	res, err := srv.AnswerBatch([]dataspace.Query{good, good, bad, good})
+	res, err := srv.AnswerBatch(context.Background(), []dataspace.Query{good, good, bad, good})
 	if err == nil {
 		t.Fatal("invalid query in batch not reported")
 	}
@@ -159,7 +160,7 @@ func TestQuotaBatchMidExhaustion(t *testing.T) {
 	quota := NewQuota(counting, 5)
 	qs := batchQueries(sch, 8, 28)
 
-	res, err := quota.AnswerBatch(qs)
+	res, err := quota.AnswerBatch(context.Background(), qs)
 	if !errors.Is(err, ErrQuotaExceeded) {
 		t.Fatalf("err = %v, want ErrQuotaExceeded", err)
 	}
@@ -173,11 +174,11 @@ func TestQuotaBatchMidExhaustion(t *testing.T) {
 		t.Fatalf("inner server saw %d queries, want 5", counting.Queries())
 	}
 	// A spent budget rejects the next batch outright.
-	if _, err := quota.AnswerBatch(qs[:2]); !errors.Is(err, ErrQuotaExceeded) {
+	if _, err := quota.AnswerBatch(context.Background(), qs[:2]); !errors.Is(err, ErrQuotaExceeded) {
 		t.Fatalf("spent quota answered another batch: %v", err)
 	}
 	// And an empty batch is free.
-	if res, err := quota.AnswerBatch(nil); err != nil || len(res) != 0 {
+	if res, err := quota.AnswerBatch(context.Background(), nil); err != nil || len(res) != 0 {
 		t.Fatalf("empty batch: %v %d", err, len(res))
 	}
 }
@@ -189,7 +190,7 @@ func TestCountingBatch(t *testing.T) {
 	srv, _ := NewLocal(sch, testBag(500, 29), 20, 6)
 	c := NewCounting(srv)
 	qs := batchQueries(sch, 17, 30)
-	if _, err := c.AnswerBatch(qs); err != nil {
+	if _, err := c.AnswerBatch(context.Background(), qs); err != nil {
 		t.Fatal(err)
 	}
 	if c.Queries() != 17 {
@@ -214,7 +215,7 @@ func TestCachingBatchDedupes(t *testing.T) {
 	b := u.WithValue(0, 2)
 	qs := []dataspace.Query{a, b, a, a, b, u}
 
-	res, err := caching.AnswerBatch(qs)
+	res, err := caching.AnswerBatch(context.Background(), qs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +232,7 @@ func TestCachingBatchDedupes(t *testing.T) {
 		t.Fatal("repeated queries answered differently within one batch")
 	}
 	// A second batch of the same queries is all hits.
-	if _, err := caching.AnswerBatch(qs); err != nil {
+	if _, err := caching.AnswerBatch(context.Background(), qs); err != nil {
 		t.Fatal(err)
 	}
 	if counting.Queries() != 3 {
@@ -251,13 +252,13 @@ func TestCachingBatchErrorAccounting(t *testing.T) {
 	u := dataspace.UniverseQuery(sch)
 	cached := u.WithValue(0, 1)
 	fresh := u.WithValue(0, 2)
-	if _, err := caching.Answer(cached); err != nil { // spends the whole budget
+	if _, err := caching.Answer(context.Background(), cached); err != nil { // spends the whole budget
 		t.Fatal(err)
 	}
 	if caching.Hits() != 0 || caching.Misses() != 1 {
 		t.Fatalf("setup hits/misses = %d/%d", caching.Hits(), caching.Misses())
 	}
-	res, err := caching.AnswerBatch([]dataspace.Query{fresh, cached})
+	res, err := caching.AnswerBatch(context.Background(), []dataspace.Query{fresh, cached})
 	if !errors.Is(err, ErrQuotaExceeded) {
 		t.Fatalf("err = %v, want ErrQuotaExceeded", err)
 	}
@@ -279,7 +280,7 @@ func TestLatencyBatchIsOneRoundTrip(t *testing.T) {
 	lat := NewLatency(srv, delay)
 	qs := batchQueries(sch, 10, 34)
 	start := time.Now()
-	if _, err := lat.AnswerBatch(qs); err != nil {
+	if _, err := lat.AnswerBatch(context.Background(), qs); err != nil {
 		t.Fatal(err)
 	}
 	if elapsed := time.Since(start); elapsed > 5*delay {
@@ -298,22 +299,19 @@ func (s *singleOnly) Answer(q dataspace.Query) (Result, error) {
 		return Result{}, fmt.Errorf("singleOnly: out of answers")
 	}
 	s.fail--
-	return s.inner.Answer(q)
+	return s.inner.Answer(context.Background(), q)
 }
 func (s *singleOnly) K() int                    { return s.inner.K() }
 func (s *singleOnly) Schema() *dataspace.Schema { return s.inner.Schema() }
 
-// TestBatchedAdapter: Batched upgrades a Single by looping, preserving
-// prefix-on-error, and returns full Servers unchanged.
+// TestBatchedAdapter: Batched upgrades a legacy Single by looping,
+// preserving prefix-on-error and honouring ctx between queries.
 func TestBatchedAdapter(t *testing.T) {
 	sch := testSchema(t)
 	srv, _ := NewLocal(sch, testBag(300, 35), 15, 9)
-	if Batched(srv) != Server(srv) {
-		t.Fatal("Batched re-wrapped a full Server")
-	}
 	up := Batched(&singleOnly{inner: srv, fail: 3})
 	qs := batchQueries(sch, 6, 36)
-	res, err := up.AnswerBatch(qs)
+	res, err := up.AnswerBatch(context.Background(), qs)
 	if err == nil {
 		t.Fatal("adapter swallowed the inner error")
 	}
@@ -321,7 +319,7 @@ func TestBatchedAdapter(t *testing.T) {
 		t.Fatalf("adapter answered %d queries before the failure, want 3", len(res))
 	}
 	for i, r := range res {
-		want, _ := srv.Answer(qs[i])
+		want, _ := srv.Answer(context.Background(), qs[i])
 		if !sameResult(r, want) {
 			t.Fatalf("adapter result %d differs from direct Answer", i)
 		}
@@ -354,13 +352,13 @@ func TestCountingCachingConcurrent(t *testing.T) {
 			}
 			for i := 0; i < len(qs); i += 6 {
 				if i%2 == 0 {
-					if _, err := caching.AnswerBatch(qs[i : i+6]); err != nil {
+					if _, err := caching.AnswerBatch(context.Background(), qs[i:i+6]); err != nil {
 						t.Errorf("goroutine %d: %v", g, err)
 						return
 					}
 				} else {
 					for _, q := range qs[i : i+6] {
-						if _, err := caching.Answer(q); err != nil {
+						if _, err := caching.Answer(context.Background(), q); err != nil {
 							t.Errorf("goroutine %d: %v", g, err)
 							return
 						}

@@ -10,6 +10,7 @@ package hiddendb_test
 // keys), some canonical key would reach the inner server twice.
 
 import (
+	"context"
 	"testing"
 
 	"hidb/internal/core"
@@ -27,7 +28,7 @@ type recorder struct {
 
 func (r *recorder) Answer(q dataspace.Query) (hiddendb.Result, error) {
 	r.seen[q.Key()]++
-	return r.inner.Answer(q)
+	return r.inner.Answer(context.Background(), q)
 }
 
 func (r *recorder) K() int                    { return r.inner.K() }
@@ -40,7 +41,7 @@ func TestLazySliceCoverQueryCountUnchangedByKeySwap(t *testing.T) {
 		t.Fatal(err)
 	}
 	rec := &recorder{inner: srv, seen: map[string]int{}}
-	res, err := core.LazySliceCover{}.Crawl(hiddendb.Batched(rec), nil)
+	res, err := core.LazySliceCover{}.Crawl(context.Background(), hiddendb.Batched(rec), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,165 @@
+package hiddendb
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"hidb/internal/dataspace"
+)
+
+// fakeClock drives a RateLimited deterministically: take()'s refill math
+// reads the swapped clock, and each sleep advances it by the requested
+// wait, so no test time passes.
+type fakeClock struct {
+	now time.Time
+}
+
+func (c *fakeClock) get() time.Time { return c.now }
+
+func rateLimitedForTest(t *testing.T, srv Server, perSecond float64, burst int) (*RateLimited, *fakeClock) {
+	t.Helper()
+	rl, err := NewRateLimited(srv, perSecond, burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	rl.now = clk.get
+	rl.last = clk.now
+	return rl, clk
+}
+
+// TestRateLimitThrottlesToSustainedRate: a burst-sized prefix is free,
+// then each query pays 1/rate of (virtual) waiting — and responses are
+// untouched.
+func TestRateLimitThrottlesToSustainedRate(t *testing.T) {
+	sch := testSchema(t)
+	srv, err := NewLocal(sch, testBag(200, 53), 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, clk := rateLimitedForTest(t, srv, 10, 2) // 10 qps, burst 2
+
+	var waited time.Duration
+	rl.sleep = func(ctx context.Context, d time.Duration) error {
+		waited += d
+		clk.now = clk.now.Add(d)
+		return ctx.Err()
+	}
+
+	q := dataspace.UniverseQuery(sch)
+	want, err := srv.Answer(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		res, err := rl.Answer(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameResult(res, want) {
+			t.Fatal("rate limiter altered a response")
+		}
+	}
+	if waited != 0 {
+		t.Fatalf("burst queries waited %v, want 0", waited)
+	}
+	// The bucket is empty: five more queries cost 100ms each at 10 qps.
+	for i := 0; i < 5; i++ {
+		if _, err := rl.Answer(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if want := 500 * time.Millisecond; waited != want {
+		t.Fatalf("5 post-burst queries waited %v, want %v", waited, want)
+	}
+
+	// A batch wider than the burst drains in instalments at the same
+	// sustained rate: 10 queries = 1s of virtual waiting.
+	waited = 0
+	if _, err := rl.AnswerBatch(context.Background(), batchQueries(sch, 10, 62)); err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 * time.Second; waited != want {
+		t.Fatalf("10-query batch waited %v, want %v", waited, want)
+	}
+}
+
+// TestRateLimitWaitCancels: a throttled query stops waiting the moment
+// its ctx dies — the "throttled crawls cancel promptly" contract — and a
+// cancelled wait issues nothing.
+func TestRateLimitWaitCancels(t *testing.T) {
+	sch := testSchema(t)
+	srv, err := NewLocal(sch, testBag(100, 54), 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting := NewCounting(srv)
+	rl, err := NewRateLimited(counting, 0.5, 1) // one query per 2s
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := dataspace.UniverseQuery(sch)
+	if _, err := rl.Answer(context.Background(), q); err != nil {
+		t.Fatal(err) // burst token: immediate
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = rl.Answer(ctx, q)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancelled wait blocked %v — the rate limiter ignored the ctx", elapsed)
+	}
+	if counting.Queries() != 1 {
+		t.Fatalf("cancelled wait issued a query: %d served, want 1", counting.Queries())
+	}
+}
+
+// TestRateLimitCancelledWaitRefunds: a multi-instalment batch wait that
+// dies mid-way refunds the instalments already drained — the caller
+// issued nothing, so its next queries must not pay for the phantom work.
+func TestRateLimitCancelledWaitRefunds(t *testing.T) {
+	sch := testSchema(t)
+	srv, err := NewLocal(sch, testBag(200, 56), 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, _ := rateLimitedForTest(t, srv, 1, 2) // 1 qps, burst 2, bucket full
+	rl.sleep = func(ctx context.Context, d time.Duration) error {
+		return context.Canceled // the refill wait dies immediately
+	}
+	// 6 queries = 3 burst-sized instalments: the first drains the full
+	// bucket, the second hits the (cancelled) wait.
+	if _, err := rl.AnswerBatch(context.Background(), batchQueries(sch, 6, 63)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The two drained tokens are back: two queries pass with no wait.
+	rl.sleep = func(ctx context.Context, d time.Duration) error {
+		t.Fatalf("post-refund query waited %v — the cancelled instalments were not refunded", d)
+		return nil
+	}
+	for i, q := range batchQueries(sch, 2, 64) {
+		if _, err := rl.Answer(context.Background(), q); err != nil {
+			t.Fatalf("post-refund query %d: %v", i, err)
+		}
+	}
+}
+
+// TestRateLimitRejectsBadRate: non-positive rates are configuration
+// errors, not silent no-ops.
+func TestRateLimitRejectsBadRate(t *testing.T) {
+	sch := testSchema(t)
+	srv, err := NewLocal(sch, testBag(10, 55), 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rate := range []float64{0, -1} {
+		if _, err := NewRateLimited(srv, rate, 1); err == nil {
+			t.Errorf("rate %v accepted", rate)
+		}
+	}
+}

@@ -22,14 +22,28 @@
 // count divides by the batch size. Single-query implementations are upgraded
 // with the Batched adapter.
 //
+// # Context
+//
+// Every entry point takes a context.Context first, and the whole stack
+// honours it: a cancelled crawl stops between queries, a deadline aborts a
+// remote round trip, a shutting-down server drains instead of hanging. The
+// invariant is the same as batching's: with a live context the responses —
+// and therefore the paper's query count — are bit-identical to a
+// context-free execution; cancellation only decides where the sequential
+// prefix ends. A query cut off by cancellation was never served and is
+// never charged (see Quota), so the counter, the budget and the journal
+// always agree after an abort.
+//
 // The package also provides the measurement wrappers the crawling algorithms
 // and the experiment harness are built on: a query counter, a memoizing
-// cache (the "lazy" in lazy-slice-cover), and a quota enforcer that models
-// the per-IP query budgets real sites impose. All wrappers are safe for
+// cache (the "lazy" in lazy-slice-cover), a quota enforcer that models
+// the per-IP query budgets real sites impose, and a token-bucket rate
+// limiter modelling their per-client throttling. All wrappers are safe for
 // concurrent use when their inner server is, and propagate batches natively.
 package hiddendb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -56,47 +70,61 @@ func (r Result) Resolved() bool { return !r.Overflow }
 // Server is the query interface a crawler sees. Implementations must be
 // deterministic: issuing the same query twice yields the same response.
 type Server interface {
-	// Answer runs one form query against the hidden database.
-	Answer(q dataspace.Query) (Result, error)
+	// Answer runs one form query against the hidden database. A cancelled
+	// or expired ctx aborts the query with the ctx's error before it is
+	// served.
+	Answer(ctx context.Context, q dataspace.Query) (Result, error)
 	// AnswerBatch answers the queries exactly as if they were issued
 	// sequentially through Answer, in order: results[i] is the response to
 	// qs[i], and the server-side query count grows by len(qs). On failure
 	// the returned slice holds the responses of the queries answered
 	// before the failing one (len(results) < len(qs)) and the error
-	// describes the first query that could not be answered.
-	AnswerBatch(qs []dataspace.Query) ([]Result, error)
+	// describes the first query that could not be answered — a ctx
+	// cancelled mid-batch ends the prefix at the first unserved query and
+	// reports the ctx's error.
+	AnswerBatch(ctx context.Context, qs []dataspace.Query) ([]Result, error)
 	// K returns the server's return limit.
 	K() int
 	// Schema describes the data space the server's form exposes.
 	Schema() *dataspace.Schema
 }
 
-// Single is the pre-batching server contract: one query per call. It exists
-// so third-party wrappers written against the original interface keep
-// working — pass them through Batched to obtain a full Server.
+// Single is the legacy pre-context, pre-batching server contract: one query
+// per call, no cancellation. It exists so third-party wrappers written
+// against the original interface keep working — pass them through Batched
+// to obtain a full Server.
 type Single interface {
 	Answer(q dataspace.Query) (Result, error)
 	K() int
 	Schema() *dataspace.Schema
 }
 
-// Batched upgrades a single-query server to the full Server contract. A
-// server that already implements Server is returned unchanged; anything
-// else is wrapped so that AnswerBatch loops over Answer, which trivially
-// satisfies the batch-equals-sequential semantics.
+// Batched upgrades a legacy single-query server to the full Server
+// contract: AnswerBatch loops over Answer — which trivially satisfies the
+// batch-equals-sequential semantics — and the ctx is checked before every
+// inner call, giving even a context-oblivious implementation prompt
+// between-query cancellation.
 func Batched(s Single) Server {
-	if srv, ok := s.(Server); ok {
-		return srv
-	}
 	return &batched{s}
 }
 
 type batched struct{ Single }
 
+// Answer implements Server, honouring ctx before the legacy call.
+func (b *batched) Answer(ctx context.Context, q dataspace.Query) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	return b.Single.Answer(q)
+}
+
 // AnswerBatch implements Server by issuing the queries one at a time.
-func (b *batched) AnswerBatch(qs []dataspace.Query) ([]Result, error) {
+func (b *batched) AnswerBatch(ctx context.Context, qs []dataspace.Query) ([]Result, error) {
 	out := make([]Result, 0, len(qs))
 	for _, q := range qs {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		res, err := b.Single.Answer(q)
 		if err != nil {
 			return out, err
@@ -165,7 +193,10 @@ func rankPermutation(bag dataspace.Bag, k int, seed uint64) ([]dataspace.Tuple, 
 }
 
 // Answer implements Server.
-func (l *Local) Answer(q dataspace.Query) (Result, error) {
+func (l *Local) Answer(ctx context.Context, q dataspace.Query) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	if q.Schema() != l.store.Schema() {
 		if err := q.Validate(); err != nil {
 			return Result{}, fmt.Errorf("hiddendb: invalid query: %w", err)
@@ -176,8 +207,10 @@ func (l *Local) Answer(q dataspace.Query) (Result, error) {
 
 // AnswerBatch implements Server. On a sharded store the batch is evaluated
 // by all shards in parallel; the responses are nevertheless exactly the
-// sequential Answer responses, in order.
-func (l *Local) AnswerBatch(qs []dataspace.Query) ([]Result, error) {
+// sequential Answer responses, in order. A ctx cancelled mid-batch stops
+// the store's evaluation (and, on a sharded store, its fan-out) and
+// returns the answered prefix with the ctx's error.
+func (l *Local) AnswerBatch(ctx context.Context, qs []dataspace.Query) ([]Result, error) {
 	valid := len(qs)
 	var verr error
 	for i, q := range qs {
@@ -188,10 +221,14 @@ func (l *Local) AnswerBatch(qs []dataspace.Query) ([]Result, error) {
 			}
 		}
 	}
-	got := l.store.SelectBatch(qs[:valid], l.k)
+	got := l.store.SelectBatch(ctx, qs[:valid], l.k)
 	out := make([]Result, len(got))
 	for i, g := range got {
 		out[i] = l.result(g)
+	}
+	if len(got) < valid {
+		// The store stopped early: only a cancelled ctx does that.
+		return out, ctx.Err()
 	}
 	return out, verr
 }
@@ -240,8 +277,8 @@ type Counting struct {
 func NewCounting(srv Server) *Counting { return &Counting{inner: srv} }
 
 // Answer implements Server, incrementing the counters.
-func (c *Counting) Answer(q dataspace.Query) (Result, error) {
-	res, err := c.inner.Answer(q)
+func (c *Counting) Answer(ctx context.Context, q dataspace.Query) (Result, error) {
+	res, err := c.inner.Answer(ctx, q)
 	if err != nil {
 		return res, err
 	}
@@ -251,8 +288,8 @@ func (c *Counting) Answer(q dataspace.Query) (Result, error) {
 
 // AnswerBatch implements Server; a batch counts as len(results) queries,
 // exactly as the sequential contract requires.
-func (c *Counting) AnswerBatch(qs []dataspace.Query) ([]Result, error) {
-	results, err := c.inner.AnswerBatch(qs)
+func (c *Counting) AnswerBatch(ctx context.Context, qs []dataspace.Query) ([]Result, error) {
+	results, err := c.inner.AnswerBatch(ctx, qs)
 	for _, res := range results {
 		c.note(res)
 	}
@@ -361,7 +398,7 @@ func (c *Caching) store(key []byte, res Result) {
 }
 
 // Answer implements Server with memoization.
-func (c *Caching) Answer(q dataspace.Query) (Result, error) {
+func (c *Caching) Answer(ctx context.Context, q dataspace.Query) (Result, error) {
 	bufp := keyBufPool.Get().(*[]byte)
 	key := q.AppendKey((*bufp)[:0])
 	res, ok := c.lookup(key)
@@ -371,7 +408,7 @@ func (c *Caching) Answer(q dataspace.Query) (Result, error) {
 		keyBufPool.Put(bufp)
 		return res, nil
 	}
-	res, err := c.inner.Answer(q)
+	res, err := c.inner.Answer(ctx, q)
 	if err == nil {
 		c.misses.Add(1)
 		c.store(key, res)
@@ -386,7 +423,7 @@ func (c *Caching) Answer(q dataspace.Query) (Result, error) {
 // forwarded to the inner server as one (deduplicated) batch, and a query
 // repeated within the batch counts as a hit — exactly as if the batch had
 // been issued query by query.
-func (c *Caching) AnswerBatch(qs []dataspace.Query) ([]Result, error) {
+func (c *Caching) AnswerBatch(ctx context.Context, qs []dataspace.Query) ([]Result, error) {
 	out, hits, err := MemoBatch(qs,
 		func(q dataspace.Query) (Result, bool) {
 			bufp := keyBufPool.Get().(*[]byte)
@@ -396,7 +433,7 @@ func (c *Caching) AnswerBatch(qs []dataspace.Query) ([]Result, error) {
 			keyBufPool.Put(bufp)
 			return res, ok
 		},
-		c.inner.AnswerBatch,
+		func(miss []dataspace.Query) ([]Result, error) { return c.inner.AnswerBatch(ctx, miss) },
 		func(q dataspace.Query, res Result) {
 			c.misses.Add(1)
 			bufp := keyBufPool.Get().(*[]byte)
@@ -506,8 +543,19 @@ func NewQuota(srv Server, budget int) *Quota {
 	return &Quota{inner: srv, budget: budget}
 }
 
-// Answer implements Server, debiting the budget.
-func (q *Quota) Answer(query dataspace.Query) (Result, error) {
+// Cancelled reports whether err is a context cancellation or deadline
+// expiry — the typed signal that a query was aborted before being served,
+// as opposed to rejected by the server. Budget accounting depends on the
+// distinction: a rejected query stays debited (the site saw it), a
+// cancelled one never went out and is refunded in full.
+func Cancelled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Answer implements Server, debiting the budget. A query aborted by ctx
+// cancellation is refunded: it never reached the hidden database, so after
+// an abort the budget spent always equals the queries actually served.
+func (q *Quota) Answer(ctx context.Context, query dataspace.Query) (Result, error) {
 	q.mu.Lock()
 	if q.used >= q.budget {
 		q.mu.Unlock()
@@ -515,14 +563,24 @@ func (q *Quota) Answer(query dataspace.Query) (Result, error) {
 	}
 	q.used++
 	q.mu.Unlock()
-	return q.inner.Answer(query)
+	res, err := q.inner.Answer(ctx, query)
+	if err != nil && Cancelled(err) {
+		q.mu.Lock()
+		q.used--
+		q.mu.Unlock()
+	}
+	return res, err
 }
 
 // AnswerBatch implements Server with sequential debiting semantics: the
 // batch is admitted up to the remaining budget, the admitted prefix is
 // answered, and a batch cut short by the budget returns the answered prefix
 // plus ErrQuotaExceeded — exactly what a sequential caller would observe.
-func (q *Quota) AnswerBatch(qs []dataspace.Query) ([]Result, error) {
+// A batch cut short by ctx cancellation instead refunds every unanswered
+// query, including the first unserved one: cancellation happens on the
+// client's side of the wire, so nothing beyond the answered prefix was
+// ever submitted.
+func (q *Quota) AnswerBatch(ctx context.Context, qs []dataspace.Query) ([]Result, error) {
 	if len(qs) == 0 {
 		return nil, nil
 	}
@@ -537,11 +595,16 @@ func (q *Quota) AnswerBatch(qs []dataspace.Query) ([]Result, error) {
 	}
 	q.used += allowed
 	q.mu.Unlock()
-	res, err := q.inner.AnswerBatch(qs[:allowed])
+	res, err := q.inner.AnswerBatch(ctx, qs[:allowed])
 	if err != nil {
-		// As in Answer, the failing query stays debited; refund only the
-		// queries the inner server never reached.
-		if refund := allowed - len(res) - 1; refund > 0 {
+		// The failing query stays debited — unless the failure is a
+		// cancellation, in which case it was never served; refund the
+		// queries the inner server never reached either way.
+		refund := allowed - len(res) - 1
+		if Cancelled(err) {
+			refund = allowed - len(res)
+		}
+		if refund > 0 {
 			q.mu.Lock()
 			q.used -= refund
 			q.mu.Unlock()
@@ -583,17 +646,40 @@ func NewLatency(srv Server, delay time.Duration) *Latency {
 	return &Latency{inner: srv, delay: delay}
 }
 
-// Answer implements Server after the simulated round-trip delay.
-func (l *Latency) Answer(q dataspace.Query) (Result, error) {
-	time.Sleep(l.delay)
-	return l.inner.Answer(q)
+// sleepCtx waits for the delay or the ctx, whichever ends first, returning
+// the ctx's error on cancellation. It is what keeps a simulated-latency
+// server from blocking shutdown for the full delay.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Answer implements Server after the simulated round-trip delay. A ctx
+// cancelled during the delay aborts the query immediately — the simulated
+// round trip never completes, so nothing is served.
+func (l *Latency) Answer(ctx context.Context, q dataspace.Query) (Result, error) {
+	if err := sleepCtx(ctx, l.delay); err != nil {
+		return Result{}, err
+	}
+	return l.inner.Answer(ctx, q)
 }
 
 // AnswerBatch implements Server: one simulated round trip for the whole
-// batch.
-func (l *Latency) AnswerBatch(qs []dataspace.Query) ([]Result, error) {
-	time.Sleep(l.delay)
-	return l.inner.AnswerBatch(qs)
+// batch, abortable by ctx exactly as Answer's is.
+func (l *Latency) AnswerBatch(ctx context.Context, qs []dataspace.Query) ([]Result, error) {
+	if err := sleepCtx(ctx, l.delay); err != nil {
+		return nil, err
+	}
+	return l.inner.AnswerBatch(ctx, qs)
 }
 
 // K implements Server.

@@ -1,6 +1,7 @@
 package hiddendb
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -34,7 +35,7 @@ func TestLocalResolvedIffSmall(t *testing.T) {
 	}
 	u := dataspace.UniverseQuery(sch)
 
-	res, err := srv.Answer(u)
+	res, err := srv.Answer(context.Background(), u)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestLocalResolvedIffSmall(t *testing.T) {
 	if want > 50 {
 		t.Skip("unlucky seed: narrow query still overflows")
 	}
-	res, err = srv.Answer(q)
+	res, err = srv.Answer(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,12 +71,12 @@ func TestLocalDeterministicResponses(t *testing.T) {
 		t.Fatal(err)
 	}
 	u := dataspace.UniverseQuery(sch)
-	a, err := srv.Answer(u)
+	a, err := srv.Answer(context.Background(), u)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for trial := 0; trial < 5; trial++ {
-		b, err := srv.Answer(u)
+		b, err := srv.Answer(context.Background(), u)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -96,15 +97,15 @@ func TestLocalSameSeedSameServer(t *testing.T) {
 	a, _ := NewLocal(sch, bag, 10, 99)
 	b, _ := NewLocal(sch, bag, 10, 99)
 	u := dataspace.UniverseQuery(sch)
-	ra, _ := a.Answer(u)
-	rb, _ := b.Answer(u)
+	ra, _ := a.Answer(context.Background(), u)
+	rb, _ := b.Answer(context.Background(), u)
 	for i := range ra.Tuples {
 		if !ra.Tuples[i].Equal(rb.Tuples[i]) {
 			t.Fatal("equal seeds produced different priority orders")
 		}
 	}
 	c, _ := NewLocal(sch, bag, 10, 100)
-	rc, _ := c.Answer(u)
+	rc, _ := c.Answer(context.Background(), u)
 	same := true
 	for i := range ra.Tuples {
 		if !ra.Tuples[i].Equal(rc.Tuples[i]) {
@@ -141,11 +142,11 @@ func TestCounting(t *testing.T) {
 	c := NewCounting(srv)
 	u := dataspace.UniverseQuery(sch)
 
-	if _, err := c.Answer(u); err != nil {
+	if _, err := c.Answer(context.Background(), u); err != nil {
 		t.Fatal(err)
 	}
 	narrow := u.WithValue(0, 2).WithRange(1, 0, 2)
-	if _, err := c.Answer(narrow); err != nil {
+	if _, err := c.Answer(context.Background(), narrow); err != nil {
 		t.Fatal(err)
 	}
 	if c.Queries() != 2 {
@@ -170,9 +171,9 @@ func TestCachingDedupes(t *testing.T) {
 	caching := NewCaching(counting)
 	u := dataspace.UniverseQuery(sch)
 
-	r1, _ := caching.Answer(u)
-	r2, _ := caching.Answer(u)
-	r3, _ := caching.Answer(u)
+	r1, _ := caching.Answer(context.Background(), u)
+	r2, _ := caching.Answer(context.Background(), u)
+	r3, _ := caching.Answer(context.Background(), u)
 	if counting.Queries() != 1 {
 		t.Fatalf("inner saw %d queries, want 1", counting.Queries())
 	}
@@ -186,8 +187,8 @@ func TestCachingDedupes(t *testing.T) {
 	// Semantically equal but separately built queries share the cache key.
 	q1 := u.WithValue(0, 3)
 	q2 := dataspace.UniverseQuery(sch).WithValue(0, 3)
-	caching.Answer(q1)
-	caching.Answer(q2)
+	caching.Answer(context.Background(), q1)
+	caching.Answer(context.Background(), q2)
 	if counting.Queries() != 2 {
 		t.Fatalf("equal queries not deduped: inner saw %d", counting.Queries())
 	}
@@ -217,7 +218,7 @@ func TestCachingHitMissAccounting(t *testing.T) {
 			lo := rng.IntRange(0, 90)
 			q = q.WithRange(1, lo, lo+rng.IntRange(0, 4))
 		}
-		if _, err := caching.Answer(q); err != nil {
+		if _, err := caching.Answer(context.Background(), q); err != nil {
 			t.Fatal(err)
 		}
 		issued++
@@ -240,14 +241,14 @@ func TestQuota(t *testing.T) {
 	q := NewQuota(srv, 3)
 	u := dataspace.UniverseQuery(sch)
 	for i := 0; i < 3; i++ {
-		if _, err := q.Answer(u); err != nil {
+		if _, err := q.Answer(context.Background(), u); err != nil {
 			t.Fatalf("query %d within budget failed: %v", i, err)
 		}
 	}
 	if q.Remaining() != 0 {
 		t.Fatalf("Remaining = %d, want 0", q.Remaining())
 	}
-	if _, err := q.Answer(u); !errors.Is(err, ErrQuotaExceeded) {
+	if _, err := q.Answer(context.Background(), u); !errors.Is(err, ErrQuotaExceeded) {
 		t.Fatalf("over-budget query: err = %v, want ErrQuotaExceeded", err)
 	}
 	if q.K() != 10 || q.Schema() != sch {
@@ -264,13 +265,13 @@ func TestTopKPriorityConsistency(t *testing.T) {
 	bag := testBag(2000, 11)
 	srv, _ := NewLocal(sch, bag, 30, 12)
 	broad := dataspace.UniverseQuery(sch)
-	rb, _ := srv.Answer(broad)
+	rb, _ := srv.Answer(context.Background(), broad)
 	if !rb.Overflow {
 		t.Skip("universe did not overflow")
 	}
 	// Narrow to C=1 (still likely overflowing with 2000 tuples).
 	narrow := broad.WithValue(0, 1)
-	rn, _ := srv.Answer(narrow)
+	rn, _ := srv.Answer(context.Background(), narrow)
 	if !rn.Overflow {
 		t.Skip("narrow query did not overflow")
 	}

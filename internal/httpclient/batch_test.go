@@ -1,6 +1,7 @@
 package httpclient
 
 import (
+	"context"
 	"errors"
 	"net/http"
 	"net/http/httptest"
@@ -37,19 +38,19 @@ func clientBatch(sch *dataspace.Schema, n int, seed uint64) []dataspace.Query {
 func TestAnswerBatchMatchesAnswer(t *testing.T) {
 	ds := mixedDataset(t, 800)
 	ts, _ := startServer(t, ds, 16, 0)
-	c, err := Dial(ts.URL, nil)
+	c, err := Dial(context.Background(), ts.URL, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	qs := clientBatch(c.Schema(), 20, 61)
 	want := make([]hiddendb.Result, len(qs))
 	for i, q := range qs {
-		want[i], err = c.Answer(q)
+		want[i], err = c.Answer(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
 	}
-	got, err := c.AnswerBatch(qs)
+	got, err := c.AnswerBatch(context.Background(), qs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestAnswerBatchMatchesAnswer(t *testing.T) {
 		}
 	}
 	// An empty batch never touches the network.
-	if res, err := c.AnswerBatch(nil); err != nil || len(res) != 0 {
+	if res, err := c.AnswerBatch(context.Background(), nil); err != nil || len(res) != 0 {
 		t.Fatalf("empty batch: %v %d", err, len(res))
 	}
 }
@@ -77,12 +78,12 @@ func TestAnswerBatchMatchesAnswer(t *testing.T) {
 func TestAnswerBatchQuotaPrefix(t *testing.T) {
 	ds := mixedDataset(t, 500)
 	ts, _ := startServer(t, ds, 16, 6)
-	c, err := Dial(ts.URL, nil)
+	c, err := Dial(context.Background(), ts.URL, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	qs := clientBatch(c.Schema(), 10, 63)
-	res, err := c.AnswerBatch(qs)
+	res, err := c.AnswerBatch(context.Background(), qs)
 	if !errors.Is(err, hiddendb.ErrQuotaExceeded) {
 		t.Fatalf("err = %v, want ErrQuotaExceeded", err)
 	}
@@ -90,7 +91,7 @@ func TestAnswerBatchQuotaPrefix(t *testing.T) {
 		t.Fatalf("answered %d queries, want the 6-query budget", len(res))
 	}
 	// Spent budget: the next batch fails outright with the typed error.
-	if _, err := c.AnswerBatch(qs[:2]); !errors.Is(err, hiddendb.ErrQuotaExceeded) {
+	if _, err := c.AnswerBatch(context.Background(), qs[:2]); !errors.Is(err, hiddendb.ErrQuotaExceeded) {
 		t.Fatalf("post-budget batch err = %v", err)
 	}
 }
@@ -116,12 +117,12 @@ func TestAnswerBatchFallsBackOn404(t *testing.T) {
 	}))
 	defer legacy.Close()
 
-	c, err := Dial(legacy.URL, nil)
+	c, err := Dial(context.Background(), legacy.URL, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	qs := clientBatch(c.Schema(), 8, 65)
-	res, err := c.AnswerBatch(qs)
+	res, err := c.AnswerBatch(context.Background(), qs)
 	if err != nil {
 		t.Fatalf("fallback batch: %v", err)
 	}
@@ -129,14 +130,14 @@ func TestAnswerBatchFallsBackOn404(t *testing.T) {
 		t.Fatalf("fallback answered %d of %d", len(res), len(qs))
 	}
 	for i, q := range qs {
-		want, _ := c.Answer(q)
+		want, _ := c.Answer(context.Background(), q)
 		if res[i].Overflow != want.Overflow || len(res[i].Tuples) != len(want.Tuples) {
 			t.Fatalf("fallback result %d differs", i)
 		}
 	}
 	// The 404 is remembered: later batches go straight to per-query
 	// round trips instead of re-probing /batch every time.
-	if _, err := c.AnswerBatch(qs[:3]); err != nil {
+	if _, err := c.AnswerBatch(context.Background(), qs[:3]); err != nil {
 		t.Fatal(err)
 	}
 	if batchProbes != 1 {

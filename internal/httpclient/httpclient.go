@@ -7,24 +7,33 @@
 // cost by the batch size. Against a pre-batching server whose /batch
 // returns 404, AnswerBatch transparently falls back to per-query requests.
 //
+// Every round trip is issued with http.NewRequestWithContext under the
+// caller's ctx: cancelling a crawl aborts its in-flight request at the
+// transport, and a deadline bounds each remote query.
+//
 // DialToken identifies the client to a per-session server: the token rides
 // every request as "Authorization: Bearer <token>", and the server keys
 // its quota, journal and counters by it — two clients with distinct tokens
 // never touch each other's budgets. Crawl consumes the server-side
-// streaming /crawl endpoint: the server runs the algorithm itself against
+// streaming /crawl endpoint (the server runs the algorithm itself against
 // the caller's session and streams every extracted tuple back over a
-// single round trip.
+// single round trip); CrawlSeq exposes the same stream as a Go iterator,
+// and the skip cursor lets a reconnecting client resume a broken stream
+// without re-receiving tuples it already holds.
 package httpclient
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"iter"
 	"net/http"
 	"sync/atomic"
 
+	"hidb/internal/core"
 	"hidb/internal/dataspace"
 	"hidb/internal/hiddendb"
 	"hidb/internal/wire"
@@ -43,22 +52,23 @@ type Client struct {
 }
 
 // Dial fetches the remote schema and returns a ready client. baseURL is the
-// server root, e.g. "http://localhost:8080". Passing a nil httpClient uses
+// server root, e.g. "http://localhost:8080". The ctx bounds only the schema
+// fetch; later calls carry their own. Passing a nil httpClient uses
 // http.DefaultClient.
-func Dial(baseURL string, httpClient *http.Client) (*Client, error) {
-	return DialToken(baseURL, "", httpClient)
+func Dial(ctx context.Context, baseURL string, httpClient *http.Client) (*Client, error) {
+	return DialToken(ctx, baseURL, "", httpClient)
 }
 
 // DialToken is Dial with a client identity: every request carries the API
 // token in the Authorization: Bearer header, so a per-session server
 // resolves it to this client's own quota, journal and counters. An empty
 // token shares the server's anonymous session.
-func DialToken(baseURL, token string, httpClient *http.Client) (*Client, error) {
+func DialToken(ctx context.Context, baseURL, token string, httpClient *http.Client) (*Client, error) {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
 	c := &Client{base: baseURL, token: token, http: httpClient}
-	resp, err := c.do(http.MethodGet, "/schema", nil)
+	resp, err := c.do(ctx, http.MethodGet, "/schema", nil)
 	if err != nil {
 		return nil, fmt.Errorf("httpclient: fetching schema: %w", err)
 	}
@@ -81,13 +91,14 @@ func DialToken(baseURL, token string, httpClient *http.Client) (*Client, error) 
 // anonymous).
 func (c *Client) Token() string { return c.token }
 
-// do issues one request against the server root, stamping the token.
-func (c *Client) do(method, path string, body []byte) (*http.Response, error) {
+// do issues one request against the server root under ctx, stamping the
+// token.
+func (c *Client) do(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequest(method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return nil, err
 	}
@@ -98,15 +109,27 @@ func (c *Client) do(method, path string, body []byte) (*http.Response, error) {
 	return c.http.Do(req)
 }
 
+// ctxErr surfaces a cancellation hidden inside a transport error as the
+// bare ctx error, so callers (and budget accounting) see the typed signal
+// rather than a wrapped *url.Error. The classification is hiddendb's —
+// the same predicate Quota's refunds use — so client and server can never
+// disagree on what counts as cancelled.
+func ctxErr(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil && hiddendb.Cancelled(err) {
+		return cerr
+	}
+	return err
+}
+
 // Answer implements hiddendb.Server with one POST /query round-trip.
-func (c *Client) Answer(q dataspace.Query) (hiddendb.Result, error) {
+func (c *Client) Answer(ctx context.Context, q dataspace.Query) (hiddendb.Result, error) {
 	body, err := json.Marshal(wire.EncodeQuery(q))
 	if err != nil {
 		return hiddendb.Result{}, fmt.Errorf("httpclient: encoding query: %w", err)
 	}
-	resp, err := c.do(http.MethodPost, "/query", body)
+	resp, err := c.do(ctx, http.MethodPost, "/query", body)
 	if err != nil {
-		return hiddendb.Result{}, fmt.Errorf("httpclient: query round-trip: %w", err)
+		return hiddendb.Result{}, ctxErr(ctx, fmt.Errorf("httpclient: query round-trip: %w", err))
 	}
 	defer resp.Body.Close()
 	switch resp.StatusCode {
@@ -119,7 +142,7 @@ func (c *Client) Answer(q dataspace.Query) (hiddendb.Result, error) {
 	}
 	var msg wire.ResultMsg
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&msg); err != nil {
-		return hiddendb.Result{}, fmt.Errorf("httpclient: decoding result: %w", err)
+		return hiddendb.Result{}, ctxErr(ctx, fmt.Errorf("httpclient: decoding result: %w", err))
 	}
 	return wire.DecodeResult(c.schema, msg)
 }
@@ -130,21 +153,21 @@ func (c *Client) Answer(q dataspace.Query) (hiddendb.Result, error) {
 // failure mid-batch — returns the answered (and paid-for) prefix plus
 // hiddendb.ErrQuotaExceeded or the server's error, respectively. When the
 // remote predates the batch endpoint (404), the batch degrades to
-// per-query round trips.
-func (c *Client) AnswerBatch(qs []dataspace.Query) ([]hiddendb.Result, error) {
+// per-query round trips. Cancelling ctx aborts the in-flight round trip.
+func (c *Client) AnswerBatch(ctx context.Context, qs []dataspace.Query) ([]hiddendb.Result, error) {
 	if len(qs) == 0 {
 		return nil, nil
 	}
 	if c.legacyBatch.Load() {
-		return c.answerSequentially(qs)
+		return c.answerSequentially(ctx, qs)
 	}
 	body, err := json.Marshal(wire.EncodeBatchRequest(qs))
 	if err != nil {
 		return nil, fmt.Errorf("httpclient: encoding batch: %w", err)
 	}
-	resp, err := c.do(http.MethodPost, "/batch", body)
+	resp, err := c.do(ctx, http.MethodPost, "/batch", body)
 	if err != nil {
-		return nil, fmt.Errorf("httpclient: batch round-trip: %w", err)
+		return nil, ctxErr(ctx, fmt.Errorf("httpclient: batch round-trip: %w", err))
 	}
 	defer resp.Body.Close()
 	switch resp.StatusCode {
@@ -155,14 +178,14 @@ func (c *Client) AnswerBatch(qs []dataspace.Query) ([]hiddendb.Result, error) {
 		// Pre-batching server: preserve the contract one query at a time,
 		// and remember so later batches skip the doomed probe.
 		c.legacyBatch.Store(true)
-		return c.answerSequentially(qs)
+		return c.answerSequentially(ctx, qs)
 	default:
 		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
 		return nil, fmt.Errorf("httpclient: batch returned %s: %s", resp.Status, snippet)
 	}
 	var msg wire.BatchResponse
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 256<<20)).Decode(&msg); err != nil {
-		return nil, fmt.Errorf("httpclient: decoding batch result: %w", err)
+		return nil, ctxErr(ctx, fmt.Errorf("httpclient: decoding batch result: %w", err))
 	}
 	results, quotaExceeded, err := wire.DecodeBatchResponse(c.schema, msg)
 	if err != nil {
@@ -182,10 +205,10 @@ func (c *Client) AnswerBatch(qs []dataspace.Query) ([]hiddendb.Result, error) {
 	return results, nil
 }
 
-func (c *Client) answerSequentially(qs []dataspace.Query) ([]hiddendb.Result, error) {
+func (c *Client) answerSequentially(ctx context.Context, qs []dataspace.Query) ([]hiddendb.Result, error) {
 	out := make([]hiddendb.Result, 0, len(qs))
 	for _, q := range qs {
-		res, err := c.Answer(q)
+		res, err := c.Answer(ctx, q)
 		if err != nil {
 			return out, err
 		}
@@ -196,45 +219,40 @@ func (c *Client) answerSequentially(qs []dataspace.Query) ([]hiddendb.Result, er
 
 // CrawlResult is the outcome of a server-side streaming crawl.
 type CrawlResult struct {
-	// Tuples is the extracted bag, in the server's output order.
+	// Tuples is the extracted bag, in the server's output order. With a
+	// resume cursor, only the tuples past the cursor appear.
 	Tuples dataspace.Bag
 	// Queries is the session's paid query count reported by the server's
 	// terminal event — the paper's cost metric for this client.
 	Queries int
 	// Resolved and Overflowed split the crawl's queries by outcome.
 	Resolved, Overflowed int
+	// Skipped is how many already-delivered tuples the resume cursor
+	// suppressed server-side.
+	Skipped int
 }
 
 // Crawl asks the server to run the named crawling algorithm against this
 // client's session and consumes the NDJSON progress stream — the whole
 // extraction for one HTTP round trip. An empty algorithm selects the
-// server's recommended one. onEvent, when non-nil, observes every stream
-// line (tuple progress and the terminal summary) as it arrives.
+// server's recommended one. skip is the resume cursor: the number of
+// tuples already received from an earlier, interrupted stream of this
+// same crawl (0 starts from the beginning); the server suppresses that
+// prefix instead of re-sending it. onEvent, when non-nil, observes every
+// stream line (tuple progress and the terminal summary) as it arrives.
 //
 // A crawl the server could not finish returns the tuples streamed so far
 // plus an error — hiddendb.ErrQuotaExceeded when the session's budget ran
 // dry, in which case re-calling Crawl after the budget window resets
-// resumes from the server-side journal for free.
-func (c *Client) Crawl(algorithm string, onEvent func(wire.CrawlEvent)) (*CrawlResult, error) {
-	body, err := json.Marshal(wire.CrawlRequest{Algorithm: algorithm})
+// resumes from the server-side journal for free. Cancelling ctx tears
+// down the stream; the server cancels this session's crawl and journals
+// everything already paid.
+func (c *Client) Crawl(ctx context.Context, algorithm string, skip int, onEvent func(wire.CrawlEvent)) (*CrawlResult, error) {
+	resp, err := c.openCrawl(ctx, algorithm, skip)
 	if err != nil {
-		return nil, fmt.Errorf("httpclient: encoding crawl request: %w", err)
-	}
-	resp, err := c.do(http.MethodPost, "/crawl", body)
-	if err != nil {
-		return nil, fmt.Errorf("httpclient: crawl round-trip: %w", err)
+		return nil, err
 	}
 	defer resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusOK:
-	case http.StatusTooManyRequests:
-		return nil, hiddendb.ErrQuotaExceeded
-	case http.StatusNotFound:
-		return nil, errors.New("httpclient: server has no /crawl endpoint (pre-session server?)")
-	default:
-		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return nil, fmt.Errorf("httpclient: crawl returned %s: %s", resp.Status, snippet)
-	}
 
 	out := &CrawlResult{}
 	dec := json.NewDecoder(resp.Body)
@@ -244,7 +262,7 @@ func (c *Client) Crawl(algorithm string, onEvent func(wire.CrawlEvent)) (*CrawlR
 			if errors.Is(err, io.EOF) {
 				return out, errors.New("httpclient: crawl stream ended without a terminal event (truncated?)")
 			}
-			return out, fmt.Errorf("httpclient: decoding crawl stream: %w", err)
+			return out, ctxErr(ctx, fmt.Errorf("httpclient: decoding crawl stream: %w", err))
 		}
 		if onEvent != nil {
 			onEvent(ev)
@@ -253,6 +271,7 @@ func (c *Client) Crawl(algorithm string, onEvent func(wire.CrawlEvent)) (*CrawlR
 			out.Queries = ev.Queries
 			out.Resolved = ev.Resolved
 			out.Overflowed = ev.Overflowed
+			out.Skipped = ev.Skipped
 			if ev.Error != "" {
 				if ev.QuotaExceeded {
 					return out, hiddendb.ErrQuotaExceeded
@@ -268,6 +287,94 @@ func (c *Client) Crawl(algorithm string, onEvent func(wire.CrawlEvent)) (*CrawlR
 			}
 			out.Tuples = append(out.Tuples, t)
 			out.Queries = ev.Queries
+		}
+	}
+}
+
+// openCrawl POSTs the /crawl request and verifies the stream started,
+// translating the failure statuses into their typed errors.
+func (c *Client) openCrawl(ctx context.Context, algorithm string, skip int) (*http.Response, error) {
+	body, err := json.Marshal(wire.CrawlRequest{Algorithm: algorithm, Skip: skip})
+	if err != nil {
+		return nil, fmt.Errorf("httpclient: encoding crawl request: %w", err)
+	}
+	resp, err := c.do(ctx, http.MethodPost, "/crawl", body)
+	if err != nil {
+		return nil, ctxErr(ctx, fmt.Errorf("httpclient: crawl round-trip: %w", err))
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return resp, nil
+	case http.StatusTooManyRequests:
+		resp.Body.Close()
+		return nil, hiddendb.ErrQuotaExceeded
+	case http.StatusNotFound:
+		resp.Body.Close()
+		return nil, errors.New("httpclient: server has no /crawl endpoint (pre-session server?)")
+	default:
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		resp.Body.Close()
+		return nil, fmt.Errorf("httpclient: crawl returned %s: %s", resp.Status, snippet)
+	}
+}
+
+// CrawlSeq is the iterator form of Crawl: the server-side crawl's tuples
+// arrive as an iter.Seq2 stream, in extraction order. Breaking out of the
+// range loop cancels the request — the server aborts this session's crawl
+// and journals the queries already paid, so a later CrawlSeq with the
+// count of tuples received as skip finishes the extraction without paying
+// for or re-receiving anything already delivered. A crawl that fails
+// yields one final (nil, error) pair: a *core.PartialError wrapping
+// hiddendb.ErrQuotaExceeded (resumable after the budget window) or the
+// transport/server failure, with the paid query count attached.
+func (c *Client) CrawlSeq(ctx context.Context, algorithm string, skip int) iter.Seq2[dataspace.Tuple, error] {
+	return func(yield func(dataspace.Tuple, error) bool) {
+		fail := func(queries int, err error) {
+			yield(nil, &core.PartialError{Queries: queries, Err: err})
+		}
+		cctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		resp, err := c.openCrawl(cctx, algorithm, skip)
+		if err != nil {
+			fail(0, err)
+			return
+		}
+		defer resp.Body.Close()
+
+		queries := 0
+		dec := json.NewDecoder(resp.Body)
+		for {
+			var ev wire.CrawlEvent
+			if err := dec.Decode(&ev); err != nil {
+				if errors.Is(err, io.EOF) {
+					fail(queries, errors.New("httpclient: crawl stream ended without a terminal event (truncated?)"))
+					return
+				}
+				fail(queries, ctxErr(ctx, fmt.Errorf("httpclient: decoding crawl stream: %w", err)))
+				return
+			}
+			queries = ev.Queries
+			if ev.Done {
+				if ev.Error != "" {
+					if ev.QuotaExceeded {
+						fail(ev.Queries, hiddendb.ErrQuotaExceeded)
+					} else {
+						fail(ev.Queries, fmt.Errorf("httpclient: server-side crawl failed: %s", ev.Error))
+					}
+				}
+				return
+			}
+			if ev.Tuple == nil {
+				continue
+			}
+			t := dataspace.Tuple(ev.Tuple)
+			if err := t.Validate(c.schema); err != nil {
+				fail(queries, fmt.Errorf("httpclient: crawl tuple: %w", err))
+				return
+			}
+			if !yield(t, nil) {
+				return // defer cancel() aborts the stream server-side
+			}
 		}
 	}
 }

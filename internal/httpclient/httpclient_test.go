@@ -1,6 +1,7 @@
 package httpclient
 
 import (
+	"context"
 	"errors"
 	"net/http"
 	"net/http/httptest"
@@ -46,7 +47,7 @@ func mixedDataset(t *testing.T, n int) *datagen.Dataset {
 func TestDialDiscoversSchema(t *testing.T) {
 	ds := mixedDataset(t, 200)
 	ts, _ := startServer(t, ds, 16, 0)
-	c, err := Dial(ts.URL, nil)
+	c, err := Dial(context.Background(), ts.URL, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestDialDiscoversSchema(t *testing.T) {
 }
 
 func TestDialErrors(t *testing.T) {
-	if _, err := Dial("http://127.0.0.1:1", nil); err == nil {
+	if _, err := Dial(context.Background(), "http://127.0.0.1:1", nil); err == nil {
 		t.Error("dial to dead address succeeded")
 	}
 	// A server that serves garbage on /schema.
@@ -67,7 +68,7 @@ func TestDialErrors(t *testing.T) {
 		w.Write([]byte("not json"))
 	}))
 	defer bad.Close()
-	if _, err := Dial(bad.URL, nil); err == nil {
+	if _, err := Dial(context.Background(), bad.URL, nil); err == nil {
 		t.Error("garbage schema accepted")
 	}
 	// A server that 500s.
@@ -75,7 +76,7 @@ func TestDialErrors(t *testing.T) {
 		http.Error(w, "down", http.StatusInternalServerError)
 	}))
 	defer boom.Close()
-	if _, err := Dial(boom.URL, nil); err == nil {
+	if _, err := Dial(context.Background(), boom.URL, nil); err == nil {
 		t.Error("500 schema accepted")
 	}
 }
@@ -83,7 +84,7 @@ func TestDialErrors(t *testing.T) {
 func TestAnswerMatchesLocal(t *testing.T) {
 	ds := mixedDataset(t, 500)
 	ts, local := startServer(t, ds, 16, 0)
-	c, err := Dial(ts.URL, nil)
+	c, err := Dial(context.Background(), ts.URL, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestAnswerMatchesLocal(t *testing.T) {
 		dataspace.UniverseQuery(c.Schema()).WithValue(0, 1).WithValue(1, 3).WithRange(2, 0, 50),
 	}
 	for _, q := range queries {
-		remote, err := c.Answer(q)
+		remote, err := c.Answer(context.Background(), q)
 		if err != nil {
 			t.Fatalf("remote answer for %s: %v", q, err)
 		}
@@ -111,7 +112,7 @@ func TestAnswerMatchesLocal(t *testing.T) {
 				lq = lq.WithRange(i, p.Lo, p.Hi)
 			}
 		}
-		want, err := local.Answer(lq)
+		want, err := local.Answer(context.Background(), lq)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -133,15 +134,15 @@ func TestAnswerMatchesLocal(t *testing.T) {
 func TestRemoteCrawlEqualsLocal(t *testing.T) {
 	ds := mixedDataset(t, 2000)
 	ts, local := startServer(t, ds, 32, 0)
-	c, err := Dial(ts.URL, nil)
+	c, err := Dial(context.Background(), ts.URL, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	remoteRes, err := core.Hybrid{}.Crawl(c, nil)
+	remoteRes, err := core.Hybrid{}.Crawl(context.Background(), c, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	localRes, err := core.Hybrid{}.Crawl(local, nil)
+	localRes, err := core.Hybrid{}.Crawl(context.Background(), local, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,11 +157,11 @@ func TestRemoteCrawlEqualsLocal(t *testing.T) {
 func TestQuotaSurfacesTyped(t *testing.T) {
 	ds := mixedDataset(t, 2000)
 	ts, _ := startServer(t, ds, 16, 5)
-	c, err := Dial(ts.URL, nil)
+	c, err := Dial(context.Background(), ts.URL, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = core.Hybrid{}.Crawl(c, nil)
+	_, err = core.Hybrid{}.Crawl(context.Background(), c, nil)
 	if !errors.Is(err, hiddendb.ErrQuotaExceeded) {
 		t.Fatalf("err = %v, want ErrQuotaExceeded", err)
 	}

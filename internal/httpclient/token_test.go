@@ -1,6 +1,7 @@
 package httpclient
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -37,14 +38,14 @@ func TestTokenRidesEveryRequest(t *testing.T) {
 		{Name: "x", Kind: dataspace.Numeric, Min: 0, Max: 100},
 	})
 	ts, auths := stubServer(t, sch, 5, wire.BatchResponse{Results: []wire.ResultMsg{{}}})
-	c, err := DialToken(ts.URL, "secret-tok", nil)
+	c, err := DialToken(context.Background(), ts.URL, "secret-tok", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if c.Token() != "secret-tok" {
 		t.Fatalf("Token() = %q", c.Token())
 	}
-	if _, err := c.AnswerBatch([]dataspace.Query{dataspace.UniverseQuery(sch)}); err != nil {
+	if _, err := c.AnswerBatch(context.Background(), []dataspace.Query{dataspace.UniverseQuery(sch)}); err != nil {
 		t.Fatal(err)
 	}
 	if len(*auths) != 2 {
@@ -68,12 +69,12 @@ func TestBatchErrorDeliversPrefix(t *testing.T) {
 		Results: []wire.ResultMsg{{Tuples: [][]int64{{7}}}},
 		Error:   "backend on fire",
 	})
-	c, err := Dial(ts.URL, nil)
+	c, err := Dial(context.Background(), ts.URL, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	u := dataspace.UniverseQuery(sch)
-	res, err := c.AnswerBatch([]dataspace.Query{u, u, u})
+	res, err := c.AnswerBatch(context.Background(), []dataspace.Query{u, u, u})
 	if err == nil || !strings.Contains(err.Error(), "backend on fire") {
 		t.Fatalf("err = %v, want the server's failure", err)
 	}

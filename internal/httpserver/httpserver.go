@@ -40,9 +40,23 @@
 // mid-crawl (typically the session's budget running dry) is reported on
 // the terminal line, since the HTTP status is long committed; the queries
 // already paid are journaled, so re-POSTing /crawl after the budget window
-// resets fast-forwards for free and finishes the job. A client that
-// disconnects mid-stream does not abort the crawl: the responses it paid
-// for are journaled for its return.
+// resets fast-forwards for free and finishes the job.
+//
+// The crawl runs under the request's context: a client that disconnects
+// mid-stream cancels its own crawl — only its session's in-flight work,
+// never another token's — instead of leaving the server crawling for
+// nobody. Everything answered before the hang-up is journaled, so the
+// client's return costs only the queries that never ran.
+//
+// CrawlRequest.Skip is the resume cursor: a reconnecting client states how
+// many tuples it already received, and the new stream suppresses that
+// prefix — the journal replays the paid queries for free, the wire carries
+// only tuples the client has not seen. Cursor resumption relies on the
+// deterministic output order of the (same) algorithm.
+//
+// Every handler honours its request context: cancelled requests stop
+// between queries, and a server Shutdown with a cancelled base context
+// drains promptly even mid-/crawl.
 //
 // # Legacy single-quota mode
 //
@@ -59,6 +73,7 @@ package httpserver
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -215,7 +230,7 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			return
 		}
-		res, err := sess.Server().Answer(q)
+		res, err := sess.Server().Answer(r.Context(), q)
 		switch {
 		case errors.Is(err, hiddendb.ErrQuotaExceeded):
 			http.Error(w, "query quota exceeded", http.StatusTooManyRequests)
@@ -237,7 +252,7 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 	h.queries++
 	h.mu.Unlock()
 
-	res, err := h.srv.Answer(q)
+	res, err := h.srv.Answer(r.Context(), q)
 	if err != nil {
 		// The query was not served: refund it, and surface a wrapped
 		// server's own budget as 429 — the same typed signal /batch gives —
@@ -283,7 +298,7 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			return
 		}
-		res, err := sess.Server().AnswerBatch(qs)
+		res, err := sess.Server().AnswerBatch(r.Context(), qs)
 		h.writeBatch(w, qs, res, err)
 		return
 	}
@@ -305,7 +320,7 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 	h.queries += admitted // reserved; unanswered queries are refunded below
 	h.mu.Unlock()
 
-	res, err := h.srv.AnswerBatch(qs[:admitted])
+	res, err := h.srv.AnswerBatch(r.Context(), qs[:admitted])
 	// Per the Server contract, res is the answered prefix: those queries
 	// were served (and counted by any wrapped Counting/Quota decorator),
 	// whatever the error. Refund only the queries beyond the prefix, so
@@ -354,13 +369,20 @@ func (h *Handler) writeBatch(w http.ResponseWriter, qs []dataspace.Query, res []
 
 // handleCrawl runs a crawling algorithm server-side against the caller's
 // session and streams (tuple, paid-queries-so-far) progress as NDJSON —
-// the whole extraction for the price of one round trip. See the package
-// doc for the stream format.
+// the whole extraction for the price of one round trip. The crawl runs
+// under r.Context(): a disconnecting client cancels its own crawl (and
+// nothing else — the shared store serves other sessions' requests under
+// their own contexts). CrawlRequest.Skip suppresses the stream's first
+// Skip tuples for reconnecting clients. See the package doc.
 func (h *Handler) handleCrawl(w http.ResponseWriter, r *http.Request) {
 	var msg wire.CrawlRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err := dec.Decode(&msg); err != nil && !errors.Is(err, io.EOF) {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if msg.Skip < 0 {
+		http.Error(w, "bad request: negative skip cursor", http.StatusBadRequest)
 		return
 	}
 	crawler := core.ForSchema(h.srv.Schema())
@@ -418,14 +440,21 @@ func (h *Handler) handleCrawl(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	// Encoding errors (a vanished client) do not abort the crawl: every
-	// answered query is journaled in the caller's session, so the work is
-	// never wasted — the client replays it for free on its next attempt.
-	tuplesSent := 0
+	// A vanished client cancels r.Context(), which aborts the crawl at
+	// the next query boundary; everything answered before the hang-up is
+	// journaled in the caller's session, so the work is never wasted —
+	// the client replays it for free on its next attempt (and skips the
+	// re-delivery with the resume cursor). Encoding errors alone are
+	// ignored: the context is the disconnection signal.
+	tuplesSent, toSkip := 0, msg.Skip
 	opts := &core.Options{
 		OnTuples: func(tuples dataspace.Bag) {
 			n := paid()
 			for _, t := range tuples {
+				if toSkip > 0 {
+					toSkip--
+					continue
+				}
 				enc.Encode(wire.CrawlEvent{Tuple: t, Queries: n})
 				tuplesSent++
 			}
@@ -436,8 +465,8 @@ func (h *Handler) handleCrawl(w http.ResponseWriter, r *http.Request) {
 		},
 	}
 
-	res, err := crawler.Crawl(target, opts)
-	final := wire.CrawlEvent{Done: true, Queries: paid(), Tuples: tuplesSent}
+	res, err := crawler.Crawl(r.Context(), target, opts)
+	final := wire.CrawlEvent{Done: true, Queries: paid(), Tuples: tuplesSent, Skipped: msg.Skip - toSkip}
 	if res != nil {
 		final.Resolved = res.Resolved
 		final.Overflowed = res.Overflowed
@@ -460,7 +489,7 @@ type legacyQuota struct {
 	inner hiddendb.Server
 }
 
-func (l *legacyQuota) Answer(q dataspace.Query) (hiddendb.Result, error) {
+func (l *legacyQuota) Answer(ctx context.Context, q dataspace.Query) (hiddendb.Result, error) {
 	l.h.mu.Lock()
 	if l.h.quota > 0 && l.h.queries >= l.h.quota {
 		l.h.mu.Unlock()
@@ -468,7 +497,7 @@ func (l *legacyQuota) Answer(q dataspace.Query) (hiddendb.Result, error) {
 	}
 	l.h.queries++
 	l.h.mu.Unlock()
-	res, err := l.inner.Answer(q)
+	res, err := l.inner.Answer(ctx, q)
 	if err != nil {
 		l.h.mu.Lock()
 		l.h.queries--
@@ -480,10 +509,10 @@ func (l *legacyQuota) Answer(q dataspace.Query) (hiddendb.Result, error) {
 // AnswerBatch loops over Answer: the server-side crawlers are sequential,
 // so batching buys nothing here, and per-query reservation is what keeps
 // the global counter exact under concurrency.
-func (l *legacyQuota) AnswerBatch(qs []dataspace.Query) ([]hiddendb.Result, error) {
+func (l *legacyQuota) AnswerBatch(ctx context.Context, qs []dataspace.Query) ([]hiddendb.Result, error) {
 	out := make([]hiddendb.Result, 0, len(qs))
 	for _, q := range qs {
-		res, err := l.Answer(q)
+		res, err := l.Answer(ctx, q)
 		if err != nil {
 			return out, err
 		}

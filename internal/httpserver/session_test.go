@@ -1,6 +1,7 @@
 package httpserver
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -55,11 +56,11 @@ func TestSessionIsolationOverHTTP(t *testing.T) {
 	ts := httptest.NewServer(h)
 	defer ts.Close()
 
-	alice, err := httpclient.DialToken(ts.URL, "alice", nil)
+	alice, err := httpclient.DialToken(context.Background(), ts.URL, "alice", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	bob, err := httpclient.DialToken(ts.URL, "bob", nil)
+	bob, err := httpclient.DialToken(context.Background(), ts.URL, "bob", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,19 +68,19 @@ func TestSessionIsolationOverHTTP(t *testing.T) {
 	qs := distinctBatch(ds.Schema, 5)
 	// Alice exhausts her budget mid-batch: she gets the paid prefix plus
 	// the typed quota signal.
-	res, err := alice.AnswerBatch(qs)
+	res, err := alice.AnswerBatch(context.Background(), qs)
 	if !errors.Is(err, hiddendb.ErrQuotaExceeded) || len(res) != 3 {
 		t.Fatalf("alice batch: %d results, err=%v; want 3 + quota", len(res), err)
 	}
-	if _, err := alice.Answer(qs[3]); !errors.Is(err, hiddendb.ErrQuotaExceeded) {
+	if _, err := alice.Answer(context.Background(), qs[3]); !errors.Is(err, hiddendb.ErrQuotaExceeded) {
 		t.Fatalf("alice post-budget query: %v, want quota", err)
 	}
 	// Bob's budget is untouched by alice's exhaustion.
-	if _, err := bob.Answer(qs[0]); err != nil {
+	if _, err := bob.Answer(context.Background(), qs[0]); err != nil {
 		t.Fatalf("bob blocked by alice's quota: %v", err)
 	}
 	// A query alice already paid for is still served — free — after 429s.
-	if _, err := alice.Answer(qs[0]); err != nil {
+	if _, err := alice.Answer(context.Background(), qs[0]); err != nil {
 		t.Fatalf("alice replaying a paid query: %v", err)
 	}
 
@@ -111,16 +112,16 @@ func TestStatsEndpoint(t *testing.T) {
 	ts := httptest.NewServer(h)
 	defer ts.Close()
 
-	alice, err := httpclient.DialToken(ts.URL, "alice", nil)
+	alice, err := httpclient.DialToken(context.Background(), ts.URL, "alice", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	qs := distinctBatch(ds.Schema, 4)
-	if _, err := alice.AnswerBatch(qs); err != nil {
+	if _, err := alice.AnswerBatch(context.Background(), qs); err != nil {
 		t.Fatal(err)
 	}
 	// A repeat is a free replay, visible in the stats.
-	if _, err := alice.Answer(qs[0]); err != nil {
+	if _, err := alice.Answer(context.Background(), qs[0]); err != nil {
 		t.Fatal(err)
 	}
 
@@ -158,13 +159,13 @@ func TestCrawlStream(t *testing.T) {
 	ts := httptest.NewServer(h)
 	defer ts.Close()
 
-	c, err := httpclient.DialToken(ts.URL, "streamer", nil)
+	c, err := httpclient.DialToken(context.Background(), ts.URL, "streamer", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	progress := 0
 	var sawDone bool
-	res, err := c.Crawl("", func(ev wire.CrawlEvent) {
+	res, err := c.Crawl(context.Background(), "", 0, func(ev wire.CrawlEvent) {
 		if ev.Done {
 			sawDone = true
 		} else {
@@ -207,11 +208,11 @@ func TestCrawlStreamQuota(t *testing.T) {
 	ts := httptest.NewServer(h)
 	defer ts.Close()
 
-	c, err := httpclient.DialToken(ts.URL, "poor", nil)
+	c, err := httpclient.DialToken(context.Background(), ts.URL, "poor", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.Crawl("hybrid", nil)
+	res, err := c.Crawl(context.Background(), "hybrid", 0, nil)
 	if !errors.Is(err, hiddendb.ErrQuotaExceeded) {
 		t.Fatalf("crawl on a 3-query budget: err=%v, want quota", err)
 	}
@@ -220,7 +221,7 @@ func TestCrawlStreamQuota(t *testing.T) {
 	}
 
 	// An unknown algorithm is a 400, not a stream.
-	if _, err := c.Crawl("made-up", nil); err == nil || errors.Is(err, hiddendb.ErrQuotaExceeded) {
+	if _, err := c.Crawl(context.Background(), "made-up", 0, nil); err == nil || errors.Is(err, hiddendb.ErrQuotaExceeded) {
 		t.Errorf("unknown algorithm: err=%v, want a bad-request error", err)
 	}
 }
@@ -265,12 +266,12 @@ func TestConcurrentSessionBatches(t *testing.T) {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				c, err := httpclient.DialToken(ts.URL, fmt.Sprintf("tok-%d", i), nil)
+				c, err := httpclient.DialToken(context.Background(), ts.URL, fmt.Sprintf("tok-%d", i), nil)
 				if err != nil {
 					t.Error(err)
 					return
 				}
-				if res, err := c.AnswerBatch(qs); err != nil || len(res) != len(qs) {
+				if res, err := c.AnswerBatch(context.Background(), qs); err != nil || len(res) != len(qs) {
 					t.Errorf("token %d: %d results, err=%v", i, len(res), err)
 				}
 			}(i)
@@ -305,7 +306,7 @@ type failingServer struct {
 	failAt int
 }
 
-func (f *failingServer) Answer(q dataspace.Query) (hiddendb.Result, error) {
+func (f *failingServer) Answer(ctx context.Context, q dataspace.Query) (hiddendb.Result, error) {
 	f.mu.Lock()
 	if f.served >= f.failAt {
 		f.mu.Unlock()
@@ -313,13 +314,13 @@ func (f *failingServer) Answer(q dataspace.Query) (hiddendb.Result, error) {
 	}
 	f.served++
 	f.mu.Unlock()
-	return f.Server.Answer(q)
+	return f.Server.Answer(ctx, q)
 }
 
-func (f *failingServer) AnswerBatch(qs []dataspace.Query) ([]hiddendb.Result, error) {
+func (f *failingServer) AnswerBatch(ctx context.Context, qs []dataspace.Query) ([]hiddendb.Result, error) {
 	out := make([]hiddendb.Result, 0, len(qs))
 	for _, q := range qs {
-		res, err := f.Answer(q)
+		res, err := f.Answer(ctx, q)
 		if err != nil {
 			return out, err
 		}
@@ -372,11 +373,11 @@ func TestBatchFailureDeliversPrefix(t *testing.T) {
 	}
 
 	// The same failure surfaces through the client as prefix + error.
-	c, err := httpclient.Dial(ts.URL, nil)
+	c, err := httpclient.Dial(context.Background(), ts.URL, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.AnswerBatch(qs)
+	res, err := c.AnswerBatch(context.Background(), qs)
 	if err == nil || errors.Is(err, hiddendb.ErrQuotaExceeded) {
 		t.Fatalf("client error = %v, want a non-quota server failure", err)
 	}
@@ -407,12 +408,12 @@ func TestBatchFailurePrefixThroughSession(t *testing.T) {
 	ts := httptest.NewServer(h)
 	defer ts.Close()
 
-	c, err := httpclient.DialToken(ts.URL, "alice", nil)
+	c, err := httpclient.DialToken(context.Background(), ts.URL, "alice", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	qs := distinctBatch(ds.Schema, 5)
-	res, err := c.AnswerBatch(qs)
+	res, err := c.AnswerBatch(context.Background(), qs)
 	if err == nil || errors.Is(err, hiddendb.ErrQuotaExceeded) {
 		t.Fatalf("err = %v, want a non-quota server failure", err)
 	}
@@ -428,7 +429,7 @@ func TestBatchFailurePrefixThroughSession(t *testing.T) {
 	}
 	// The journaled prefix replays for free even though the backend is
 	// still down.
-	if _, err := c.Answer(qs[0]); err != nil {
+	if _, err := c.Answer(context.Background(), qs[0]); err != nil {
 		t.Fatalf("replaying the paid prefix: %v", err)
 	}
 }
@@ -447,14 +448,14 @@ func TestLegacyCrawlSharesGlobalQuota(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c, err := httpclient.Dial(ts.URL, nil)
+			c, err := httpclient.Dial(context.Background(), ts.URL, nil)
 			if err != nil {
 				t.Error(err)
 				return
 			}
 			// The dataset needs far more than 5 queries: both crawls must
 			// die on the shared budget.
-			if _, err := c.Crawl("", nil); !errors.Is(err, hiddendb.ErrQuotaExceeded) {
+			if _, err := c.Crawl(context.Background(), "", 0, nil); !errors.Is(err, hiddendb.ErrQuotaExceeded) {
 				t.Errorf("crawl err = %v, want quota", err)
 			}
 		}()

@@ -52,6 +52,7 @@
 package index
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"sort"
@@ -484,11 +485,17 @@ func (s *Store) selectRange(preds []dataspace.Pred, pl plan, want int) []dataspa
 // SelectBatch answers every query of the batch with the same semantics as
 // issuing B Select calls in order: result i is exactly Select(qs[i], limit).
 // A single Store evaluates the batch sequentially; the Sharded store
-// overrides this with a per-shard parallel fan-out.
-func (s *Store) SelectBatch(qs []dataspace.Query, limit int) [][]dataspace.Tuple {
-	out := make([][]dataspace.Tuple, len(qs))
-	for i, q := range qs {
-		out[i] = s.Select(q, limit)
+// overrides this with a per-shard parallel fan-out. A cancelled ctx stops
+// the evaluation between queries: the answered prefix is returned and the
+// caller reads ctx.Err() — with a live ctx the result is always complete,
+// so cancellation support can never change what a batch answers.
+func (s *Store) SelectBatch(ctx context.Context, qs []dataspace.Query, limit int) [][]dataspace.Tuple {
+	out := make([][]dataspace.Tuple, 0, len(qs))
+	for _, q := range qs {
+		if ctx.Err() != nil {
+			return out
+		}
+		out = append(out, s.Select(q, limit))
 	}
 	return out
 }

@@ -11,6 +11,7 @@
 package index
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -26,7 +27,9 @@ type Engine interface {
 	// order (limit+1 results signal overflow).
 	Select(q dataspace.Query, limit int) []dataspace.Tuple
 	// SelectBatch answers each query exactly as Select would, in order.
-	SelectBatch(qs []dataspace.Query, limit int) [][]dataspace.Tuple
+	// A cancelled ctx stops the batch between queries; the answered
+	// prefix is returned (shorter than qs signals the cancellation).
+	SelectBatch(ctx context.Context, qs []dataspace.Query, limit int) [][]dataspace.Tuple
 	// Count returns the exact number of tuples matching q.
 	Count(q dataspace.Query) int
 	// Size returns the number of tuples in the store.
@@ -128,14 +131,25 @@ func (s *Sharded) Select(q dataspace.Query, limit int) []dataspace.Tuple {
 // fan-out is capped at GOMAXPROCS live goroutines, so a client-sized batch
 // (the /batch endpoint accepts megabytes of queries) cannot flood the
 // scheduler. Result i is exactly Select(qs[i], limit).
-func (s *Sharded) SelectBatch(qs []dataspace.Query, limit int) [][]dataspace.Tuple {
+//
+// A cancelled ctx stops the fan-out: no further queries are launched, the
+// ones already in flight finish (their work is local and cannot be torn
+// mid-read), and the answered prefix is returned. The ctx belongs to the
+// one caller whose batch this is — concurrent SelectBatch calls from other
+// sessions carry their own ctx and are untouched by this cancellation.
+func (s *Sharded) SelectBatch(ctx context.Context, qs []dataspace.Query, limit int) [][]dataspace.Tuple {
 	if len(s.shards) == 1 {
-		return s.shards[0].SelectBatch(qs, limit)
+		return s.shards[0].SelectBatch(ctx, qs, limit)
 	}
 	out := make([][]dataspace.Tuple, len(qs))
 	var wg sync.WaitGroup
 	gate := make(chan struct{}, runtime.GOMAXPROCS(0))
+	launched := len(qs)
 	for i, q := range qs {
+		if ctx.Err() != nil {
+			launched = i
+			break
+		}
 		wg.Add(1)
 		gate <- struct{}{}
 		go func(i int, q dataspace.Query) {
@@ -145,7 +159,7 @@ func (s *Sharded) SelectBatch(qs []dataspace.Query, limit int) [][]dataspace.Tup
 		}(i, q)
 	}
 	wg.Wait()
-	return out
+	return out[:launched]
 }
 
 // Count returns the exact number of tuples matching q: the sum of the

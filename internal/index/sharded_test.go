@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -69,7 +70,7 @@ func TestShardedSelectBatchMatchesSelect(t *testing.T) {
 			qs[i] = randomQuery(ref.Schema(), rng)
 		}
 		for _, eng := range []Engine{ref, sh} {
-			got := eng.SelectBatch(qs, 20)
+			got := eng.SelectBatch(context.Background(), qs, 20)
 			if len(got) != len(qs) {
 				t.Fatalf("batch returned %d results for %d queries", len(got), len(qs))
 			}
@@ -105,7 +106,7 @@ func TestShardedBatchConcurrent(t *testing.T) {
 				for i := range qs {
 					qs[i] = randomQuery(sh.Schema(), rng)
 				}
-				got := sh.SelectBatch(qs, 10)
+				got := sh.SelectBatch(context.Background(), qs, 10)
 				for i, q := range qs {
 					want := ref.Select(q, 10)
 					if len(got[i]) != len(want) {

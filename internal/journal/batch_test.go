@@ -1,6 +1,7 @@
 package journal
 
 import (
+	"context"
 	"testing"
 
 	"hidb/internal/dataspace"
@@ -29,7 +30,7 @@ func TestAnswerBatchReplaysAndRecords(t *testing.T) {
 	c := u.WithValue(0, 3)
 
 	// Pay for a up front.
-	if _, err := srv.Answer(a); err != nil {
+	if _, err := srv.Answer(context.Background(), a); err != nil {
 		t.Fatal(err)
 	}
 	if counting.Queries() != 1 {
@@ -37,7 +38,7 @@ func TestAnswerBatchReplaysAndRecords(t *testing.T) {
 	}
 
 	// Batch: one replay (a), two new (b, c), one in-batch duplicate (b).
-	res, err := srv.AnswerBatch([]dataspace.Query{a, b, c, b})
+	res, err := srv.AnswerBatch(context.Background(), []dataspace.Query{a, b, c, b})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestAnswerBatchReplaysAndRecords(t *testing.T) {
 	}
 
 	// Re-running the batch is now entirely free.
-	if _, err := srv.AnswerBatch([]dataspace.Query{a, b, c}); err != nil {
+	if _, err := srv.AnswerBatch(context.Background(), []dataspace.Query{a, b, c}); err != nil {
 		t.Fatal(err)
 	}
 	if counting.Queries() != 3 {
@@ -83,7 +84,7 @@ func TestAnswerBatchQuotaPrefix(t *testing.T) {
 	}
 	u := dataspace.UniverseQuery(ds.Schema)
 	qs := []dataspace.Query{u.WithValue(0, 1), u.WithValue(0, 2), u.WithValue(0, 3), u.WithValue(0, 4)}
-	res, err := srv.AnswerBatch(qs)
+	res, err := srv.AnswerBatch(context.Background(), qs)
 	if err == nil {
 		t.Fatal("quota not surfaced")
 	}
@@ -99,7 +100,7 @@ func TestAnswerBatchQuotaPrefix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err = srv2.AnswerBatch(qs)
+	res, err = srv2.AnswerBatch(context.Background(), qs)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,6 +14,7 @@ package journal
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -260,15 +261,16 @@ func Wrap(inner hiddendb.Server, j *Journal) (*Server, error) {
 	return &Server{inner: inner, journal: j}, nil
 }
 
-// Answer implements hiddendb.Server.
-func (s *Server) Answer(q dataspace.Query) (hiddendb.Result, error) {
+// Answer implements hiddendb.Server. Replays are free and ignore ctx —
+// they touch no remote resource — while forwarded queries honour it.
+func (s *Server) Answer(ctx context.Context, q dataspace.Query) (hiddendb.Result, error) {
 	if res, ok := s.journal.Lookup(q); ok {
 		s.mu.Lock()
 		s.replays++
 		s.mu.Unlock()
 		return res, nil
 	}
-	res, err := s.inner.Answer(q)
+	res, err := s.inner.Answer(ctx, q)
 	if err != nil {
 		return res, err
 	}
@@ -281,8 +283,11 @@ func (s *Server) Answer(q dataspace.Query) (hiddendb.Result, error) {
 // to the inner server as a single (deduplicated) batch and recorded. A
 // query repeated within the batch is a replay, exactly as if the batch had
 // been issued query by query.
-func (s *Server) AnswerBatch(qs []dataspace.Query) ([]hiddendb.Result, error) {
-	out, replays, err := hiddendb.MemoBatch(qs, s.journal.Lookup, s.inner.AnswerBatch, s.journal.Record)
+func (s *Server) AnswerBatch(ctx context.Context, qs []dataspace.Query) ([]hiddendb.Result, error) {
+	forward := func(miss []dataspace.Query) ([]hiddendb.Result, error) {
+		return s.inner.AnswerBatch(ctx, miss)
+	}
+	out, replays, err := hiddendb.MemoBatch(qs, s.journal.Lookup, forward, s.journal.Record)
 	if replays > 0 {
 		s.mu.Lock()
 		s.replays += replays

@@ -2,6 +2,7 @@ package journal
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -64,7 +65,7 @@ func TestSerializationRoundTrip(t *testing.T) {
 	}
 	// Run a full crawl to populate the journal with a realistic mix of
 	// queries (wildcards, pins, ranges, ±inf extents).
-	if _, err := (core.Hybrid{}).Crawl(wrapped, nil); err != nil {
+	if _, err := (core.Hybrid{}).Crawl(context.Background(), wrapped, nil); err != nil {
 		t.Fatal(err)
 	}
 	if j.Len() == 0 {
@@ -145,7 +146,7 @@ func TestResumeAfterQuota(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := (core.Hybrid{}).Crawl(ref, nil)
+	full, err := (core.Hybrid{}).Crawl(context.Background(), ref, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestResumeAfterQuota(t *testing.T) {
 			t.Fatal(err)
 		}
 
-		res, err := (core.Hybrid{}).Crawl(wrapped, nil)
+		res, err := (core.Hybrid{}).Crawl(context.Background(), wrapped, nil)
 		if errors.Is(err, hiddendb.ErrQuotaExceeded) {
 			continue // next day, fresh budget
 		}
@@ -215,7 +216,7 @@ func TestReplaysCounted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := (core.Hybrid{}).Crawl(w1, nil); err != nil {
+	if _, err := (core.Hybrid{}).Crawl(context.Background(), w1, nil); err != nil {
 		t.Fatal(err)
 	}
 	paid := j.Len()
@@ -225,7 +226,7 @@ func TestReplaysCounted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := (core.Hybrid{}).Crawl(w2, nil); err != nil {
+	if _, err := (core.Hybrid{}).Crawl(context.Background(), w2, nil); err != nil {
 		t.Fatal(err)
 	}
 	if j.Len() != paid {

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -37,6 +38,10 @@ import (
 // the same slice query from different tree branches) only one enqueues it
 // and the other blocks on the first's result.
 type batcher struct {
+	// ctx is the crawl's context: every batch round trip is issued under
+	// it, so cancelling the crawl cancels its in-flight batches at the
+	// server (or on the wire) instead of letting them run to completion.
+	ctx      context.Context
 	inner    hiddendb.Server
 	opts     *core.Options
 	maxBatch int
@@ -77,7 +82,7 @@ type flightReq struct {
 // crawl's last Answer has returned. workers bounds the in-flight query
 // count; a batch is wholly in flight while its round trip runs, so
 // maxBatch is clamped to workers.
-func newBatcher(inner hiddendb.Server, workers, maxBatch int, opts *core.Options) *batcher {
+func newBatcher(ctx context.Context, inner hiddendb.Server, workers, maxBatch int, opts *core.Options) *batcher {
 	if workers < 1 {
 		workers = 1
 	}
@@ -85,6 +90,7 @@ func newBatcher(inner hiddendb.Server, workers, maxBatch int, opts *core.Options
 		maxBatch = workers
 	}
 	b := &batcher{
+		ctx:      ctx,
 		inner:    inner,
 		opts:     opts,
 		maxBatch: maxBatch,
@@ -105,8 +111,12 @@ func newBatcher(inner hiddendb.Server, workers, maxBatch int, opts *core.Options
 func (b *batcher) close() { close(b.stop) }
 
 // Answer submits q to the dispatcher and waits for its response. Each
-// distinct query is issued at most once across all workers.
+// distinct query is issued at most once across all workers. A crawl whose
+// ctx is already cancelled fails fast without enqueueing.
 func (b *batcher) Answer(q dataspace.Query) (hiddendb.Result, error) {
+	if err := b.ctx.Err(); err != nil {
+		return hiddendb.Result{}, err
+	}
 	if b.opts.QueryFilter != nil && !b.opts.QueryFilter(q) {
 		b.mu.Lock()
 		b.skipped++
@@ -203,7 +213,7 @@ func (b *batcher) issue(batch []flightReq) {
 	for i, r := range batch {
 		qs[i] = r.q
 	}
-	results, err := b.inner.AnswerBatch(qs)
+	results, err := b.inner.AnswerBatch(b.ctx, qs)
 	if err == nil && len(results) < len(batch) {
 		err = fmt.Errorf("parallel: server answered %d of %d batched queries without an error", len(results), len(batch))
 	}
@@ -217,12 +227,13 @@ func (b *batcher) issue(batch []flightReq) {
 			// queries instead of dropping the signal.
 			b.deferred = err
 			err = nil
-		} else if errors.Is(err, hiddendb.ErrQuotaExceeded) {
-			// The budget died mid-batch: this batch's unanswered queries
-			// fail below with the error, and — budgets never come back
-			// within a crawl — every later distinct query is doomed too.
-			// Latch the error so they fail fast instead of each paying a
-			// pointless round trip against the exhausted server.
+		} else if errors.Is(err, hiddendb.ErrQuotaExceeded) || hiddendb.Cancelled(err) {
+			// The budget died mid-batch, or the crawl was cancelled:
+			// this batch's unanswered queries fail below with the error,
+			// and every later distinct query is doomed too — budgets
+			// never come back within a crawl, and a cancelled ctx stays
+			// cancelled. Latch the error so they fail fast instead of
+			// each paying a pointless round trip.
 			b.deferred = err
 		}
 	}

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -19,18 +20,18 @@ type roundTrips struct {
 	calls int
 }
 
-func (r *roundTrips) Answer(q dataspace.Query) (hiddendb.Result, error) {
+func (r *roundTrips) Answer(ctx context.Context, q dataspace.Query) (hiddendb.Result, error) {
 	r.mu.Lock()
 	r.calls++
 	r.mu.Unlock()
-	return r.Server.Answer(q)
+	return r.Server.Answer(ctx, q)
 }
 
-func (r *roundTrips) AnswerBatch(qs []dataspace.Query) ([]hiddendb.Result, error) {
+func (r *roundTrips) AnswerBatch(ctx context.Context, qs []dataspace.Query) ([]hiddendb.Result, error) {
 	r.mu.Lock()
 	r.calls++
 	r.mu.Unlock()
-	return r.Server.AnswerBatch(qs)
+	return r.Server.AnswerBatch(ctx, qs)
 }
 
 func (r *roundTrips) count() int {
@@ -61,7 +62,7 @@ func TestBatcherFailsFastAfterQuota(t *testing.T) {
 
 	// workers = maxBatch = 1 keeps the dispatch order deterministic: each
 	// Answer is its own round trip.
-	b := newBatcher(rt, 1, 1, &core.Options{})
+	b := newBatcher(context.Background(), rt, 1, 1, &core.Options{})
 	defer b.close()
 
 	qs := make([]dataspace.Query, 5)
@@ -118,7 +119,7 @@ func TestParallelCrawlStopsAtQuota(t *testing.T) {
 	const workers = 4
 	rt := &roundTrips{Server: hiddendb.NewQuota(local, budget)}
 
-	_, err = Crawler{Workers: workers}.Crawl(rt, nil)
+	_, err = Crawler{Workers: workers}.Crawl(context.Background(), rt, nil)
 	if !errors.Is(err, hiddendb.ErrQuotaExceeded) {
 		t.Fatalf("crawl on a %d-query budget: err=%v, want quota", budget, err)
 	}

@@ -19,6 +19,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -52,7 +53,11 @@ func (c Crawler) workers() int {
 
 // Crawl implements core.Crawler. Options are honoured; OnProgress and
 // QueryFilter callbacks must be safe for concurrent invocation.
-func (c Crawler) Crawl(srv hiddendb.Server, opts *core.Options) (*core.Result, error) {
+// Cancelling ctx aborts the crawl: the in-flight batches are cancelled
+// through the server (their answered prefixes are still counted and, in a
+// journaled stack, recorded), the workers drain, and the ctx's error is
+// returned.
+func (c Crawler) Crawl(ctx context.Context, srv hiddendb.Server, opts *core.Options) (*core.Result, error) {
 	if opts == nil {
 		opts = &core.Options{}
 	}
@@ -60,7 +65,7 @@ func (c Crawler) Crawl(srv hiddendb.Server, opts *core.Options) (*core.Result, e
 	if maxBatch <= 0 {
 		maxBatch = c.workers()
 	}
-	b := newBatcher(srv, c.workers(), maxBatch, opts)
+	b := newBatcher(ctx, srv, c.workers(), maxBatch, opts)
 	defer b.close()
 	p := &pool{
 		srv:    b,

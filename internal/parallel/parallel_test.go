@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"net/http/httptest"
 	"sync"
@@ -60,7 +61,7 @@ func TestParallelCompleteEverySpace(t *testing.T) {
 				k = m
 			}
 			srv := server(t, ds, k)
-			res, err := (Crawler{Workers: workers}).Crawl(srv, nil)
+			res, err := (Crawler{Workers: workers}).Crawl(context.Background(), srv, nil)
 			if err != nil {
 				t.Fatalf("%s workers=%d: %v", name, workers, err)
 			}
@@ -81,12 +82,12 @@ func TestParallelCostEqualsSequential(t *testing.T) {
 		if m := ds.Tuples.MaxMultiplicity(); m > k {
 			k = m
 		}
-		seq, err := (core.Hybrid{}).Crawl(server(t, ds, k), nil)
+		seq, err := (core.Hybrid{}).Crawl(context.Background(), server(t, ds, k), nil)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, workers := range []int{1, 8} {
-			par, err := (Crawler{Workers: workers}).Crawl(server(t, ds, k), nil)
+			par, err := (Crawler{Workers: workers}).Crawl(context.Background(), server(t, ds, k), nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -107,7 +108,7 @@ func TestParallelSpeedupUnderLatency(t *testing.T) {
 	run := func(workers int) time.Duration {
 		srv := hiddendb.NewLatency(server(t, ds, k), delay)
 		start := time.Now()
-		res, err := (Crawler{Workers: workers}).Crawl(srv, nil)
+		res, err := (Crawler{Workers: workers}).Crawl(context.Background(), srv, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -134,7 +135,7 @@ func TestParallelUnsolvable(t *testing.T) {
 		ds.Tuples = append(ds.Tuples, ds.Tuples[0])
 	}
 	srv := server(t, ds, 4)
-	_, err := (Crawler{Workers: 8}).Crawl(srv, nil)
+	_, err := (Crawler{Workers: 8}).Crawl(context.Background(), srv, nil)
 	if !errors.Is(err, core.ErrUnsolvable) {
 		t.Fatalf("err = %v, want ErrUnsolvable", err)
 	}
@@ -143,7 +144,7 @@ func TestParallelUnsolvable(t *testing.T) {
 func TestParallelQuotaPropagates(t *testing.T) {
 	ds := dataset(t, specs()["mixed"], 11)
 	srv := hiddendb.NewQuota(server(t, ds, 16), 10)
-	_, err := (Crawler{Workers: 8}).Crawl(srv, nil)
+	_, err := (Crawler{Workers: 8}).Crawl(context.Background(), srv, nil)
 	if !errors.Is(err, hiddendb.ErrQuotaExceeded) {
 		t.Fatalf("err = %v, want ErrQuotaExceeded", err)
 	}
@@ -154,7 +155,7 @@ func TestParallelProgressCallbacks(t *testing.T) {
 	srv := server(t, ds, 32)
 	var mu sync.Mutex
 	calls := 0
-	res, err := (Crawler{Workers: 8}).Crawl(srv, &core.Options{
+	res, err := (Crawler{Workers: 8}).Crawl(context.Background(), srv, &core.Options{
 		OnProgress: func(p core.CurvePoint) {
 			mu.Lock()
 			calls++
@@ -184,7 +185,7 @@ func TestParallelQueryFilter(t *testing.T) {
 		valid[[2]int64{tu[0], tu[1]}] = true
 	}
 	srv := server(t, ds, 16)
-	res, err := (Crawler{Workers: 8}).Crawl(srv, &core.Options{
+	res, err := (Crawler{Workers: 8}).Crawl(context.Background(), srv, &core.Options{
 		QueryFilter: func(q dataspace.Query) bool {
 			a, b := q.Pred(0), q.Pred(1)
 			if a.Wild || b.Wild {
@@ -210,7 +211,7 @@ func TestBatchedCrawlReducesRoundTrips(t *testing.T) {
 	if m := ds.Tuples.MaxMultiplicity(); m > k {
 		k = m
 	}
-	seq, err := (core.Hybrid{}).Crawl(server(t, ds, k), nil)
+	seq, err := (core.Hybrid{}).Crawl(context.Background(), server(t, ds, k), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,11 +219,11 @@ func TestBatchedCrawlReducesRoundTrips(t *testing.T) {
 	handler := httpserver.New(server(t, ds, k))
 	ts := httptest.NewServer(handler)
 	defer ts.Close()
-	client, err := httpclient.Dial(ts.URL, nil)
+	client, err := httpclient.Dial(context.Background(), ts.URL, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := (Crawler{Workers: 16}).Crawl(client, nil)
+	res, err := (Crawler{Workers: 16}).Crawl(context.Background(), client, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,12 +252,12 @@ func TestBatchSizeDoesNotChangeCost(t *testing.T) {
 	if m := ds.Tuples.MaxMultiplicity(); m > k {
 		k = m
 	}
-	seq, err := (core.Hybrid{}).Crawl(server(t, ds, k), nil)
+	seq, err := (core.Hybrid{}).Crawl(context.Background(), server(t, ds, k), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, batch := range []int{1, 3, 16, 64} {
-		res, err := (Crawler{Workers: 16}).Crawl(server(t, ds, k), &core.Options{BatchSize: batch})
+		res, err := (Crawler{Workers: 16}).Crawl(context.Background(), server(t, ds, k), &core.Options{BatchSize: batch})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -278,7 +279,7 @@ func TestShardedServerUnderParallelCrawl(t *testing.T) {
 	if m := ds.Tuples.MaxMultiplicity(); m > k {
 		k = m
 	}
-	seq, err := (core.Hybrid{}).Crawl(server(t, ds, k), nil)
+	seq, err := (core.Hybrid{}).Crawl(context.Background(), server(t, ds, k), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +287,7 @@ func TestShardedServerUnderParallelCrawl(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := (Crawler{Workers: 16}).Crawl(sharded, nil)
+	res, err := (Crawler{Workers: 16}).Crawl(context.Background(), sharded, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,18 +307,18 @@ type flaggingServer struct {
 	budget int
 }
 
-func (f *flaggingServer) Answer(q dataspace.Query) (hiddendb.Result, error) {
+func (f *flaggingServer) Answer(ctx context.Context, q dataspace.Query) (hiddendb.Result, error) {
 	if f.budget <= 0 {
 		return hiddendb.Result{}, hiddendb.ErrQuotaExceeded
 	}
 	f.budget--
-	return f.inner.Answer(q)
+	return f.inner.Answer(ctx, q)
 }
 
-func (f *flaggingServer) AnswerBatch(qs []dataspace.Query) ([]hiddendb.Result, error) {
+func (f *flaggingServer) AnswerBatch(ctx context.Context, qs []dataspace.Query) ([]hiddendb.Result, error) {
 	out := make([]hiddendb.Result, 0, len(qs))
 	for _, q := range qs {
-		res, err := f.Answer(q)
+		res, err := f.Answer(ctx, q)
 		if err != nil {
 			return out, err
 		}
@@ -340,7 +341,7 @@ func (f *flaggingServer) Schema() *dataspace.Schema { return f.inner.Schema() }
 func TestBatchErrorWithFullResultsNotDropped(t *testing.T) {
 	ds := dataset(t, specs()["mixed"], 19)
 	srv := &flaggingServer{inner: server(t, ds, 16), budget: 10}
-	_, err := (Crawler{Workers: 8}).Crawl(srv, nil)
+	_, err := (Crawler{Workers: 8}).Crawl(context.Background(), srv, nil)
 	if !errors.Is(err, hiddendb.ErrQuotaExceeded) {
 		t.Fatalf("err = %v, want ErrQuotaExceeded", err)
 	}

@@ -1,0 +1,94 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"hidb/internal/datagen"
+	"hidb/internal/dataspace"
+	"hidb/internal/hiddendb"
+)
+
+// rateTable builds a session table with per-client throttling over a small
+// random store.
+func rateTable(t *testing.T, cfg Config) (*Table, *datagen.Dataset) {
+	t.Helper()
+	ds, err := datagen.Random(datagen.RandomSpec{
+		N:          300,
+		CatDomains: []int{4},
+		NumRanges:  [][2]int64{{0, 1000}},
+		DupRate:    0.05,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := hiddendb.NewLocal(ds.Schema, ds.Tuples, 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewTable(srv, cfg), ds
+}
+
+// TestSessionRateLimitFreeTiers: burst queries pass immediately, and
+// journal replays ride above the limiter — a replayed query needs no
+// token, so resuming a journaled crawl is never throttled.
+func TestSessionRateLimitFreeTiers(t *testing.T) {
+	tbl, ds := rateTable(t, Config{RatePerSecond: 0.5, RateBurst: 2})
+	sess, err := tbl.Get("tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1 := dataspace.UniverseQuery(ds.Schema).WithRange(1, 0, 10)
+	q2 := dataspace.UniverseQuery(ds.Schema).WithRange(1, 11, 20)
+
+	start := time.Now()
+	if _, err := sess.Server().Answer(context.Background(), q1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Server().Answer(context.Background(), q2); err != nil {
+		t.Fatal(err)
+	}
+	// Replays of both paid queries: above the limiter, so no token and no
+	// wait even though the bucket is now empty (refill is 2s/query).
+	for _, q := range []dataspace.Query{q1, q2} {
+		if _, err := sess.Server().Answer(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("burst + replays took %v — replays are being throttled", elapsed)
+	}
+	if sess.Queries() != 2 || sess.Replays() != 2 {
+		t.Fatalf("paid %d / replayed %d, want 2 / 2", sess.Queries(), sess.Replays())
+	}
+}
+
+// TestSessionRateLimitCancelsPromptly: a query waiting out the bucket
+// aborts the moment its request ctx dies — a throttled client hanging up
+// does not park a goroutine for the rest of the refill.
+func TestSessionRateLimitCancelsPromptly(t *testing.T) {
+	tbl, ds := rateTable(t, Config{RatePerSecond: 0.1, RateBurst: 1}) // 10s/query refill
+	sess, err := tbl.Get("tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := dataspace.UniverseQuery(ds.Schema)
+	if _, err := sess.Server().Answer(context.Background(), u); err != nil {
+		t.Fatal(err) // burst token
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = sess.Server().Answer(ctx, dataspace.UniverseQuery(ds.Schema).WithRange(1, 0, 5))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled throttle wait blocked %v", elapsed)
+	}
+	if sess.Queries() != 1 {
+		t.Fatalf("cancelled wait paid a query: %d, want 1", sess.Queries())
+	}
+}

@@ -5,14 +5,21 @@
 // two crawlers corrupt each other's budgets and journals. Here every token
 // owns a private decorator stack over the shared (possibly sharded) store:
 //
-//	journal wrapper → Caching → Quota → Counting → shared store
+//	journal wrapper → Caching → Quota → RateLimited → Counting → shared store
 //
 // reading left to right in wrapping order, outermost first. A query the
 // session has already paid for is answered from its journal or memo table
-// for free; a new query debits the token's budget and, once answered, is
-// journaled. The Counting innermost layer is therefore exactly the paper's
+// for free — above the rate limiter, so replays and cache hits are never
+// throttled; a new query must be admitted by the token's budget first and
+// only then waits for the token bucket (when Config.RatePerSecond is
+// set), so an over-budget request 429s immediately instead of waiting out
+// a throttle for queries that would be rejected anyway. Once answered it
+// is journaled; a wait cancelled mid-batch refunds both the budget and
+// the rate tokens, since nothing was issued. The Counting innermost layer is therefore exactly the paper's
 // cost metric, per client: queries that actually reached the hidden
-// database on this token's budget.
+// database on this token's budget. Every layer honours the request ctx, so
+// one client hanging up cancels only its own in-flight work — including a
+// rate-limit wait — never another session's.
 //
 // Sessions live in a Table — an LRU with TTL safe for concurrent batches.
 // An idle session expires after the TTL (modelling the budget window of
@@ -32,6 +39,7 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -53,6 +61,16 @@ type Config struct {
 	// means unlimited. Cache hits and journal replays are free — the
 	// budget counts only queries that reach the shared store.
 	Quota int
+	// RatePerSecond throttles each client's quota-admitted queries to a
+	// sustained rate (token bucket with RateBurst capacity); zero
+	// disables throttling. A throttled query waits inside its own
+	// request ctx, so a client that hangs up stops waiting immediately,
+	// and the wait's budget and rate tokens are refunded.
+	RatePerSecond float64
+	// RateBurst is the token-bucket capacity when RatePerSecond is set:
+	// how many queries a client may issue back-to-back after idling.
+	// Zero means the ceiling of RatePerSecond (at least 1).
+	RateBurst int
 	// TTL evicts a session idle for longer; zero disables expiry. With a
 	// quota, the TTL is the budget window: a token returning after expiry
 	// gets a fresh session, hence a fresh budget (and its reloaded
@@ -255,6 +273,17 @@ func (t *Table) newSession(token string) (*Session, error) {
 	}
 	counting := hiddendb.NewCounting(t.shared)
 	var view hiddendb.Server = counting
+	if t.cfg.RatePerSecond > 0 {
+		burst := t.cfg.RateBurst
+		if burst <= 0 {
+			burst = int(math.Ceil(t.cfg.RatePerSecond))
+		}
+		limited, err := hiddendb.NewRateLimited(view, t.cfg.RatePerSecond, burst)
+		if err != nil {
+			return nil, fmt.Errorf("session: token %q: %w", token, err)
+		}
+		view = limited
+	}
 	var quota *hiddendb.Quota
 	if t.cfg.Quota > 0 {
 		quota = hiddendb.NewQuota(view, t.cfg.Quota)

@@ -1,6 +1,7 @@
 package session
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -65,7 +66,7 @@ func TestPerTokenIsolation(t *testing.T) {
 
 	qs := distinctQueries(ds.Schema, 5)
 	// Alice exhausts her budget.
-	res, err := a.Server().AnswerBatch(qs)
+	res, err := a.Server().AnswerBatch(context.Background(), qs)
 	if !errors.Is(err, hiddendb.ErrQuotaExceeded) || len(res) != 3 {
 		t.Fatalf("alice: %d results, err=%v; want 3 + quota", len(res), err)
 	}
@@ -76,7 +77,7 @@ func TestPerTokenIsolation(t *testing.T) {
 	if b.Queries() != 0 || b.Remaining() != 3 {
 		t.Fatalf("bob corrupted by alice: queries=%d remaining=%d", b.Queries(), b.Remaining())
 	}
-	if _, err := b.Server().Answer(qs[0]); err != nil {
+	if _, err := b.Server().Answer(context.Background(), qs[0]); err != nil {
 		t.Fatalf("bob blocked by alice's quota: %v", err)
 	}
 	// Journals are private too.
@@ -95,12 +96,12 @@ func TestReplaysAndHitsAreFree(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := distinctQueries(ds.Schema, 1)[0]
-	if _, err := sess.Server().Answer(q); err != nil {
+	if _, err := sess.Server().Answer(context.Background(), q); err != nil {
 		t.Fatal(err)
 	}
 	storeBefore := shared.Queries()
 	for i := 0; i < 5; i++ {
-		if _, err := sess.Server().Answer(q); err != nil {
+		if _, err := sess.Server().Answer(context.Background(), q); err != nil {
 			t.Fatalf("repeat %d: %v", i, err)
 		}
 	}
@@ -132,7 +133,7 @@ func TestTTLEviction(t *testing.T) {
 		t.Fatal(err)
 	}
 	qs := distinctQueries(ds.Schema, 3)
-	if _, err := sess.Server().AnswerBatch(qs); !errors.Is(err, hiddendb.ErrQuotaExceeded) {
+	if _, err := sess.Server().AnswerBatch(context.Background(), qs); !errors.Is(err, hiddendb.ErrQuotaExceeded) {
 		t.Fatalf("want quota exhaustion, got %v", err)
 	}
 
@@ -235,7 +236,7 @@ func TestJournalPersistence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sess.Server().AnswerBatch(qs)
+	res, err := sess.Server().AnswerBatch(context.Background(), qs)
 	if !errors.Is(err, hiddendb.ErrQuotaExceeded) || len(res) != 3 {
 		t.Fatalf("first window: %d results, err=%v", len(res), err)
 	}
@@ -256,7 +257,7 @@ func TestJournalPersistence(t *testing.T) {
 		t.Fatalf("reloaded journal has %d entries, want 3", fresh.JournalLen())
 	}
 	storeBefore := shared.Queries()
-	res2, err := fresh.Server().AnswerBatch(qs)
+	res2, err := fresh.Server().AnswerBatch(context.Background(), qs)
 	if err != nil || len(res2) != 5 {
 		t.Fatalf("second window: %d results, err=%v; want all 5", len(res2), err)
 	}
@@ -286,7 +287,7 @@ func TestClosePersistsLiveJournals(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sess.Server().Answer(distinctQueries(ds.Schema, 1)[0]); err != nil {
+	if _, err := sess.Server().Answer(context.Background(), distinctQueries(ds.Schema, 1)[0]); err != nil {
 		t.Fatal(err)
 	}
 	if err := tbl.Close(); err != nil {
@@ -319,7 +320,7 @@ func TestTokenFilenames(t *testing.T) {
 		if err != nil {
 			t.Fatalf("token %q: %v", tok, err)
 		}
-		if _, err := sess.Server().Answer(q); err != nil {
+		if _, err := sess.Server().Answer(context.Background(), q); err != nil {
 			t.Fatalf("token %q: %v", tok, err)
 		}
 	}
@@ -361,7 +362,7 @@ func TestConcurrentGets(t *testing.T) {
 					return
 				}
 				got[i][g] = sess
-				if _, err := sess.Server().AnswerBatch(qs); err != nil {
+				if _, err := sess.Server().AnswerBatch(context.Background(), qs); err != nil {
 					t.Error(err)
 				}
 			}(i, g)

@@ -2,6 +2,7 @@ package tableload
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -118,7 +119,7 @@ func TestLoadedDatasetIsCrawlable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := (core.Hybrid{}).Crawl(srv, nil)
+	res, err := (core.Hybrid{}).Crawl(context.Background(), srv, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -48,6 +48,13 @@ type CrawlRequest struct {
 	// Token is the body-level fallback of the Authorization: Bearer
 	// convention.
 	Token string `json:"token,omitempty"`
+	// Skip is the resume cursor: the number of tuples the client already
+	// received from an earlier (interrupted) stream of the same crawl.
+	// The server re-runs the algorithm — the journal replays the paid
+	// prefix for free — but omits the first Skip tuples from the stream
+	// instead of re-sending them. Meaningful only when the algorithm (and
+	// its deterministic output order) matches the earlier request's.
+	Skip int `json:"skip,omitempty"`
 }
 
 // CrawlEvent is one NDJSON line of the /crawl response stream.
@@ -66,10 +73,16 @@ type CrawlEvent struct {
 	Queries int `json:"queries"`
 	// Done marks the terminal summary line.
 	Done bool `json:"done,omitempty"`
-	// Tuples, Resolved and Overflowed summarize the crawl (terminal line).
+	// Tuples, Resolved and Overflowed summarize the crawl (terminal
+	// line). Tuples counts the tuples streamed in this response — the
+	// ones suppressed by the request's Skip cursor are reported in
+	// Skipped instead.
 	Tuples     int `json:"tuples,omitempty"`
 	Resolved   int `json:"resolved,omitempty"`
 	Overflowed int `json:"overflowed,omitempty"`
+	// Skipped echoes how many already-delivered tuples the resume cursor
+	// suppressed (terminal line).
+	Skipped int `json:"skipped,omitempty"`
 	// Error reports a crawl that could not complete (terminal line).
 	Error string `json:"error,omitempty"`
 	// QuotaExceeded marks an Error caused by the session's query budget.
