@@ -11,11 +11,15 @@
 //	hidb-crawl -url ... -journal state.jnl                 # resumable
 //	hidb-crawl -url ... -workers 16                        # parallel, batched
 //	hidb-crawl -url ... -workers 16 -batch 8               # cap batch size
+//	hidb-crawl -url ... -workers 16 -inflight 4            # deepen the pipeline
 //
-// With -workers N the crawler keeps up to N queries in flight and drains
-// ready queries into batches of up to N (or -batch, if set) per round trip;
-// the query cost is identical to the sequential crawl, the round-trip count
-// ~batch-size times smaller.
+// With -workers N the crawler drains ready queries into batches of up to N
+// (or -batch, if set) per round trip and keeps up to -inflight round trips
+// (default 2) flying at once — the next batch departs the moment a flight
+// slot frees, so the connection never idles between round trips. The query
+// cost is identical to the sequential crawl, the round-trip count
+// ~batch-size times smaller; -inflight 1 restores the flush-on-completion
+// batcher that waits out each round trip before dispatching the next.
 package main
 
 import (
@@ -90,6 +94,7 @@ func main() {
 	journalPath := flag.String("journal", "", "journal file for resumable crawls (created if absent)")
 	workers := flag.Int("workers", 1, "concurrent in-flight queries (same cost, less wall-clock)")
 	batch := flag.Int("batch", 0, "max queries per AnswerBatch round trip (0 = worker count; capped at -workers)")
+	inflight := flag.Int("inflight", 0, "pipeline depth: overlapped AnswerBatch round trips (0 = default 2; 1 = flush-on-completion)")
 	flag.Parse()
 
 	// Ctrl-C cancels the crawl between queries instead of killing the
@@ -155,7 +160,7 @@ func main() {
 		log.Printf("journal %s: %d queries already paid for", *journalPath, before)
 	}
 
-	opts := &hidb.CrawlOptions{CollectCurve: *showProgress, BatchSize: *batch}
+	opts := &hidb.CrawlOptions{CollectCurve: *showProgress, BatchSize: *batch, InFlight: *inflight}
 	start := time.Now()
 	res, err := crawler.Crawl(ctx, srv, opts)
 	if jnl != nil {

@@ -6,6 +6,9 @@ import (
 	"testing"
 
 	"hidb"
+	"hidb/internal/core"
+	"hidb/internal/datagen"
+	"hidb/internal/simrand"
 )
 
 // bigMixed builds a dataset large enough that crawls take hundreds of
@@ -136,6 +139,121 @@ func TestCrawlSeqCancelledCtx(t *testing.T) {
 	}
 	if !errors.Is(finalErr, context.Canceled) {
 		t.Fatalf("terminal error = %v, want context.Canceled", finalErr)
+	}
+}
+
+// TestCrawlSeqAllAlgorithms is the streaming half of the sequential-
+// equivalence oracle: for every crawling algorithm, on a random data
+// space it supports, consuming the whole CrawlSeq stream yields exactly
+// Crawl's tuples in order; and a random mid-stream break followed by a
+// journaled resume finishes the extraction with the journal holding
+// exactly the algorithm's sequential query cost — streaming and
+// interruption are delivery, never a different algorithm.
+func TestCrawlSeqAllAlgorithms(t *testing.T) {
+	rng := simrand.New(0x5E0 ^ 0x1234)
+	specFor := func(name string) datagen.RandomSpec {
+		switch name {
+		case "binary-shrink", "rank-shrink":
+			return datagen.RandomSpec{
+				N:         800 + rng.Intn(1200),
+				NumRanges: [][2]int64{{0, 2000 + rng.Int64n(30_000)}, {0, 500}},
+				DupRate:   0.05,
+			}
+		case "dfs", "slice-cover", "lazy-slice-cover":
+			return datagen.RandomSpec{
+				N:          800 + rng.Intn(1200),
+				CatDomains: []int{3 + rng.Intn(6), 5 + rng.Intn(20)},
+				Skew:       rng.Float64(),
+				DupRate:    0.05,
+			}
+		default: // hybrid
+			return datagen.RandomSpec{
+				N:          800 + rng.Intn(1200),
+				CatDomains: []int{3 + rng.Intn(8)},
+				NumRanges:  [][2]int64{{0, 2000 + rng.Int64n(20_000)}},
+				Skew:       rng.Float64(),
+				DupRate:    0.05,
+			}
+		}
+	}
+	for _, name := range hidb.CrawlerNames() {
+		t.Run(name, func(t *testing.T) {
+			crawler, err := hidb.NewCrawler(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds, err := datagen.Random(specFor(name), rng.Uint64())
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := 24 + rng.Intn(40)
+			if m := ds.Tuples.MaxMultiplicity(); m > k {
+				k = m
+			}
+			srv, err := hidb.NewLocalServer(ds.Schema, ds.Tuples, k, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := crawler.Crawl(context.Background(), srv, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ref.Tuples.EqualMultiset(ds.Tuples) {
+				t.Fatal("reference crawl incomplete")
+			}
+
+			// Full stream == Crawl, tuple for tuple, in order.
+			var got hidb.Bag
+			for tuple, err := range core.CrawlSeq(context.Background(), crawler, srv, nil) {
+				if err != nil {
+					t.Fatalf("stream error: %v", err)
+				}
+				got = append(got, tuple)
+			}
+			if len(got) != len(ref.Tuples) {
+				t.Fatalf("stream yielded %d tuples, Crawl %d", len(got), len(ref.Tuples))
+			}
+			for i := range got {
+				if !got[i].Equal(ref.Tuples[i]) {
+					t.Fatalf("stream tuple %d differs from Crawl's", i)
+				}
+			}
+
+			// Random break, then a journaled resume: the combined cost is
+			// exactly the sequential reference.
+			cut := 1 + rng.Intn(len(ref.Tuples))
+			jnl := hidb.NewJournal(srv.Schema(), srv.K())
+			jsrv, err := hidb.WithJournal(srv, jnl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen := 0
+			for _, err := range core.CrawlSeq(context.Background(), crawler, jsrv, nil) {
+				if err != nil {
+					t.Fatalf("stream error before break: %v", err)
+				}
+				if seen++; seen == cut {
+					break
+				}
+			}
+			if jnl.Len() > ref.Queries {
+				t.Fatalf("broken stream journaled %d queries, reference is %d", jnl.Len(), ref.Queries)
+			}
+			var resumed hidb.Bag
+			for tuple, err := range core.CrawlSeq(context.Background(), crawler, jsrv, nil) {
+				if err != nil {
+					t.Fatalf("resume stream error: %v", err)
+				}
+				resumed = append(resumed, tuple)
+			}
+			if !resumed.EqualMultiset(ds.Tuples) {
+				t.Fatal("resumed stream incomplete")
+			}
+			if jnl.Len() != ref.Queries {
+				t.Fatalf("after resume the journal holds %d queries, want the sequential cost %d",
+					jnl.Len(), ref.Queries)
+			}
+		})
 	}
 }
 

@@ -57,11 +57,28 @@
 // invariant from the other side: a cancelled batch ends at an answered
 // prefix, and a query cut off by ctx was never served, never charged.
 // ParallelCrawler drains its ready queries into such batches
-// automatically. Custom wrappers written against the pre-context
-// single-query contract still work: upgrade them with BatchedServer.
-// For serving many concurrent crawls from one process, NewShardedLocalServer
-// partitions the store into priority-range shards that answer batches in
-// parallel, each with its own scratch memory.
+// automatically, and pipelines them: up to CrawlOptions.InFlight round
+// trips (default 2, the double buffer; hidb-crawl's -inflight flag) fly
+// at once, the next batch departing the moment a flight slot frees, so a
+// high-latency connection never idles between round trips. Custom
+// wrappers written against the pre-context single-query contract still
+// work: upgrade them with BatchedServer. For serving many concurrent
+// crawls from one process, NewShardedLocalServer partitions the store
+// into priority-range shards that answer batches in parallel, each with
+// its own scratch memory.
+//
+// # Simulation and fault injection
+//
+// Two deterministic test harnesses ship with the library. NewSimClock /
+// NewSimLatencyServer simulate per-round-trip network latency on a
+// virtual clock: the clock advances only when the simulated crawl is
+// quiescent, so a crawl's wall-clock behaviour under any latency is a
+// reproducible measurement (clock.Now() after the crawl) that costs
+// microseconds of real time — give ParallelCrawler the same clock via
+// CrawlOptions.Clock. NewFlakyServer injects seeded transient errors,
+// nth-query failures and ctx-abort windows in front of any Server, for
+// testing that crawls resume correctly and budgets stay consistent under
+// real-world failure.
 package hidb
 
 import (
@@ -69,6 +86,7 @@ import (
 	"io"
 	"iter"
 	"net/http"
+	"time"
 
 	"hidb/internal/core"
 	"hidb/internal/datagen"
@@ -293,15 +311,62 @@ func DialHTTPToken(ctx context.Context, baseURL, token string, httpClient *http.
 	return httpclient.DialToken(ctx, baseURL, token, httpClient)
 }
 
-// ParallelCrawler returns a crawler that keeps up to workers queries in
-// flight at once, draining ready queries into AnswerBatch round trips of up
-// to workers queries each (tunable via CrawlOptions.BatchSize). The set of
-// issued queries — and therefore the paper's cost metric — is identical to
-// the sequential algorithms'; the wall-clock time and the round-trip count
-// divide by the effective batch size. Use it when each round trip has real
-// network cost. OnProgress and QueryFilter callbacks must be safe for
-// concurrent invocation.
+// ParallelCrawler returns a crawler that drains ready queries into
+// AnswerBatch round trips of up to workers queries each (tunable via
+// CrawlOptions.BatchSize) and keeps up to CrawlOptions.InFlight round
+// trips (default 2) in flight at once: while round trips fly, the next
+// batch accumulates and departs the moment a flight slot frees, so the
+// connection never idles between round trips. The set of issued queries —
+// and therefore the paper's cost metric — is identical to the sequential
+// algorithms'; only wall-clock time and the round-trip count change. Use
+// it when each round trip has real network cost. OnProgress and
+// QueryFilter callbacks must be safe for concurrent invocation.
 func ParallelCrawler(workers int) Crawler { return parallel.Crawler{Workers: workers} }
+
+// Deterministic simulation and fault injection. See the hiddendb package
+// for the full documentation of each type.
+type (
+	// SimClock is a deterministic virtual clock for latency simulation:
+	// round trips cost virtual time that advances only when the simulated
+	// crawl is quiescent, so the same crawl always measures the same
+	// elapsed time, in microseconds of real time. Use one clock per crawl.
+	SimClock = hiddendb.SimClock
+	// SimLatencyServer charges a fixed virtual delay per round trip on a
+	// SimClock — the deterministic counterpart of a real network latency.
+	SimLatencyServer = hiddendb.SimLatency
+	// FlakyServer injects deterministic, seeded faults (transient errors,
+	// nth-query failures, ctx-abort windows) in front of a Server, for
+	// testing crawl resumption and budget accounting under failure.
+	FlakyServer = hiddendb.Flaky
+	// FlakyServerConfig selects the faults a FlakyServer injects.
+	FlakyServerConfig = hiddendb.FlakyConfig
+)
+
+// ErrInjectedFault is the transient error a FlakyServer injects.
+var ErrInjectedFault = hiddendb.ErrInjected
+
+// NewSimClock returns a virtual clock at time zero.
+func NewSimClock() *SimClock { return hiddendb.NewSimClock() }
+
+// NewSimLatencyServer wraps srv so every round trip — one Answer or one
+// whole AnswerBatch — costs delay of virtual time on clock. A sequential
+// crawl drives the clock by itself; for ParallelCrawler, pass the same
+// clock in CrawlOptions.Clock so the pipelined dispatcher can keep the
+// clock's runnable-work accounting. After the crawl, clock.Now() is its
+// deterministic virtual wall-clock time — how the parallel latency
+// ablation measures pipeline speedups reproducibly without sleeping.
+func NewSimLatencyServer(srv Server, delay time.Duration, clock *SimClock) *SimLatencyServer {
+	return hiddendb.NewSimLatency(srv, delay, clock)
+}
+
+// NewFlakyServer wraps srv with deterministic fault injection per cfg.
+// Faults follow the answered-prefix contract: a batch cut short by a fault
+// still delivers (and pays for) the queries answered before it, so
+// journals, quotas and counters stay consistent — which is exactly what
+// the wrapper exists to let tests verify.
+func NewFlakyServer(srv Server, cfg FlakyServerConfig) *FlakyServer {
+	return hiddendb.NewFlaky(srv, cfg)
+}
 
 // Journal is a replayable log of server responses that makes crawls
 // resumable across query quotas (see the journal package).

@@ -74,6 +74,27 @@ type Options struct {
 	// sequentially — only the number of round trips. Sequential crawlers
 	// ignore it.
 	BatchSize int
+	// InFlight is the parallel crawler's pipeline depth: how many
+	// AnswerBatch round trips it keeps in flight at once. While round
+	// trips fly, the next batch accumulates and departs the moment a
+	// flight slot frees — speculative double-buffering, which removes the
+	// flush-on-completion bubble where a ready query always waited out the
+	// round trip in front of it. 1 restores flush-on-completion; zero
+	// defaults to 2 (or to workers/BatchSize when a narrowed batch width
+	// would otherwise shrink the in-flight query bound below the worker
+	// count). Pipelining never changes the query count, only round trips
+	// and wall clock. Sequential crawlers ignore it.
+	InFlight int
+	// Clock, when non-nil, runs the parallel crawler's pipeline under the
+	// given deterministic virtual clock: batches form and depart at
+	// virtual instants, and with the server wrapped in
+	// hiddendb.NewSimLatency on the same clock, the crawl's wall-clock
+	// behaviour under any round-trip latency becomes a fast, reproducible
+	// measurement (read it from SimClock.Now). Responses and query counts
+	// are untouched. Use one clock per crawl. Sequential crawlers ignore
+	// it — a sequential crawl over a SimLatency server drives the clock
+	// by itself.
+	Clock *hiddendb.SimClock
 }
 
 // Result is the outcome of a crawl.

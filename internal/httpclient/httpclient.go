@@ -232,6 +232,58 @@ type CrawlResult struct {
 	Skipped int
 }
 
+// crawlStream decodes an NDJSON /crawl response stream: the shared engine
+// of Crawl and CrawlSeq, factored out so the decoder can be fuzzed
+// directly against truncated, interleaved and duplicate-event inputs. Per
+// event, onEvent (when non-nil) observes the raw line; each valid tuple
+// line is handed to emit, which may return false to stop consuming (a
+// client-side break — stopped reports it, with no error). The stream ends
+// at the first terminal (Done) line: anything after it is ignored, exactly
+// as a sequential reader would never read past it. The returned
+// CrawlResult carries the terminal line's counters — or, on a truncated or
+// malformed stream, whatever the last event reported, alongside the error.
+func crawlStream(schema *dataspace.Schema, r io.Reader, onEvent func(wire.CrawlEvent), emit func(dataspace.Tuple) bool) (out CrawlResult, stopped bool, err error) {
+	dec := json.NewDecoder(r)
+	tuples := 0
+	for {
+		var ev wire.CrawlEvent
+		if err := dec.Decode(&ev); err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, false, errors.New("httpclient: crawl stream ended without a terminal event (truncated?)")
+			}
+			return out, false, fmt.Errorf("httpclient: decoding crawl stream: %w", err)
+		}
+		if onEvent != nil {
+			onEvent(ev)
+		}
+		if ev.Done {
+			out.Queries = ev.Queries
+			out.Resolved = ev.Resolved
+			out.Overflowed = ev.Overflowed
+			out.Skipped = ev.Skipped
+			if ev.Error != "" {
+				if ev.QuotaExceeded {
+					return out, false, hiddendb.ErrQuotaExceeded
+				}
+				return out, false, fmt.Errorf("httpclient: server-side crawl failed: %s", ev.Error)
+			}
+			return out, false, nil
+		}
+		out.Queries = ev.Queries
+		if ev.Tuple == nil {
+			continue
+		}
+		t := dataspace.Tuple(ev.Tuple)
+		if err := t.Validate(schema); err != nil {
+			return out, false, fmt.Errorf("httpclient: crawl tuple %d: %w", tuples, err)
+		}
+		tuples++
+		if !emit(t) {
+			return out, true, nil
+		}
+	}
+}
+
 // Crawl asks the server to run the named crawling algorithm against this
 // client's session and consumes the NDJSON progress stream — the whole
 // extraction for one HTTP round trip. An empty algorithm selects the
@@ -255,40 +307,16 @@ func (c *Client) Crawl(ctx context.Context, algorithm string, skip int, onEvent 
 	defer resp.Body.Close()
 
 	out := &CrawlResult{}
-	dec := json.NewDecoder(resp.Body)
-	for {
-		var ev wire.CrawlEvent
-		if err := dec.Decode(&ev); err != nil {
-			if errors.Is(err, io.EOF) {
-				return out, errors.New("httpclient: crawl stream ended without a terminal event (truncated?)")
-			}
-			return out, ctxErr(ctx, fmt.Errorf("httpclient: decoding crawl stream: %w", err))
-		}
-		if onEvent != nil {
-			onEvent(ev)
-		}
-		if ev.Done {
-			out.Queries = ev.Queries
-			out.Resolved = ev.Resolved
-			out.Overflowed = ev.Overflowed
-			out.Skipped = ev.Skipped
-			if ev.Error != "" {
-				if ev.QuotaExceeded {
-					return out, hiddendb.ErrQuotaExceeded
-				}
-				return out, fmt.Errorf("httpclient: server-side crawl failed: %s", ev.Error)
-			}
-			return out, nil
-		}
-		if ev.Tuple != nil {
-			t := dataspace.Tuple(ev.Tuple)
-			if err := t.Validate(c.schema); err != nil {
-				return out, fmt.Errorf("httpclient: crawl tuple %d: %w", len(out.Tuples), err)
-			}
-			out.Tuples = append(out.Tuples, t)
-			out.Queries = ev.Queries
-		}
+	res, _, err := crawlStream(c.schema, resp.Body, onEvent, func(t dataspace.Tuple) bool {
+		out.Tuples = append(out.Tuples, t)
+		return true
+	})
+	res.Tuples = out.Tuples
+	*out = res
+	if err != nil {
+		return out, ctxErr(ctx, err)
 	}
+	return out, nil
 }
 
 // openCrawl POSTs the /crawl request and verifies the stream started,
@@ -341,40 +369,13 @@ func (c *Client) CrawlSeq(ctx context.Context, algorithm string, skip int) iter.
 		}
 		defer resp.Body.Close()
 
-		queries := 0
-		dec := json.NewDecoder(resp.Body)
-		for {
-			var ev wire.CrawlEvent
-			if err := dec.Decode(&ev); err != nil {
-				if errors.Is(err, io.EOF) {
-					fail(queries, errors.New("httpclient: crawl stream ended without a terminal event (truncated?)"))
-					return
-				}
-				fail(queries, ctxErr(ctx, fmt.Errorf("httpclient: decoding crawl stream: %w", err)))
-				return
-			}
-			queries = ev.Queries
-			if ev.Done {
-				if ev.Error != "" {
-					if ev.QuotaExceeded {
-						fail(ev.Queries, hiddendb.ErrQuotaExceeded)
-					} else {
-						fail(ev.Queries, fmt.Errorf("httpclient: server-side crawl failed: %s", ev.Error))
-					}
-				}
-				return
-			}
-			if ev.Tuple == nil {
-				continue
-			}
-			t := dataspace.Tuple(ev.Tuple)
-			if err := t.Validate(c.schema); err != nil {
-				fail(queries, fmt.Errorf("httpclient: crawl tuple: %w", err))
-				return
-			}
-			if !yield(t, nil) {
-				return // defer cancel() aborts the stream server-side
-			}
+		res, _, err := crawlStream(c.schema, resp.Body, nil, func(t dataspace.Tuple) bool {
+			return yield(t, nil)
+			// A false yield stops the stream; defer cancel() then aborts
+			// it server-side.
+		})
+		if err != nil {
+			fail(res.Queries, ctxErr(ctx, err))
 		}
 	}
 }

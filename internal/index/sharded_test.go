@@ -120,6 +120,39 @@ func TestShardedBatchConcurrent(t *testing.T) {
 	wg.Wait()
 }
 
+// TestShardedCountFanOut covers the parallel Count path (stores above the
+// fan-out threshold): the concurrent per-shard sum must equal the
+// single-Store count for any query, including under concurrent callers
+// (the -race check of the fan-out's state sharing).
+func TestShardedCountFanOut(t *testing.T) {
+	const n, seed = 20_000, 23 // above fanOutMin, so Count fans out
+	ref := testStore(t, n, seed)
+	sh := testSharded(t, n, seed, 6)
+	rng := simrand.New(29)
+	for trial := 0; trial < 100; trial++ {
+		q := randomQuery(ref.Schema(), rng)
+		if gc, wc := sh.Count(q), ref.Count(q); gc != wc {
+			t.Fatalf("trial %d: fan-out Count = %d, want %d (query %s)", trial, gc, wc, q)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := simrand.New(200 + uint64(g))
+			for trial := 0; trial < 25; trial++ {
+				q := randomQuery(sh.Schema(), rng)
+				if gc, wc := sh.Count(q), ref.Count(q); gc != wc {
+					t.Errorf("goroutine %d: Count = %d, want %d", g, gc, wc)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
 func TestShardedEdgeCases(t *testing.T) {
 	sch := testSchema(t)
 	if _, err := NewSharded(sch, nil, 0); err == nil {

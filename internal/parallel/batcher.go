@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"hidb/internal/core"
 	"hidb/internal/dataspace"
@@ -17,26 +18,44 @@ import (
 //
 // Workers submit queries and block on their result; a single dispatcher
 // goroutine drains the ready queue into batches of up to maxBatch and
-// issues each batch as one asynchronous Server.AnswerBatch call. Batch
-// formation is ack-clocked, the way group commit batches log writes: a
-// query that finds the server idle departs immediately (a dependency chain
-// pays no batching delay), but while round trips are in flight, newly ready
-// queries accumulate and the batch is flushed when it fills or when a
-// round trip completes. Batches therefore grow toward the concurrency of
-// the crawl without ever idling the connection, and independent full
-// batches overlap. A worker-slot semaphore bounds the in-flight query
-// count, exactly as the per-query design's did.
+// issues each batch as one asynchronous Server.AnswerBatch call. Dispatch
+// is speculative and double-buffered: up to depth round trips fly at once,
+// and while they do, newly ready queries accumulate into the next batch,
+// which departs the moment a flight slot is free — when one is already
+// free, immediately, so a dependency chain pays no batching delay. Only
+// when all depth slots are busy does the batch wait, growing until a
+// completion frees a slot (or it fills to maxBatch and queues for the next
+// slot). This removes the flush-on-completion pipeline bubble of the
+// previous design, where a query arriving while any round trip was in
+// flight always waited for that round trip to finish: with depth ≥ 2 the
+// connection stays busy and the ready queue keeps draining behind it.
+// depth = 1 restores the old flush-on-completion behaviour exactly, and
+// maxBatch = depth = 1 degenerates to the original query-at-a-time
+// semaphore.
 //
 // Because a batch is answered exactly as if issued sequentially, the set
 // (and count) of queries reaching the server is identical to the
-// sequential algorithm's — only the round-trip count shrinks, by roughly
-// the batch size. This replaces the earlier safeserver design, which
-// locked a semaphore and paid a full round trip per query; maxBatch = 1
-// degenerates to exactly that behaviour.
+// sequential algorithm's — pipelining changes only round trips and wall
+// clock, never the paper's cost metric.
 //
 // Memoization is singleflight: when two workers need the same query (e.g.
 // the same slice query from different tree branches) only one enqueues it
 // and the other blocks on the first's result.
+//
+// # Virtual time
+//
+// With a hiddendb.SimClock (core.Options.Clock), the whole pipeline runs
+// under deterministic virtual time: the batcher keeps the clock's hold
+// count — one hold per runnable worker, per queued request, per completion
+// signal — so the clock advances only when every goroutine of the crawl is
+// blocked on an in-flight (virtually sleeping) round trip. Two details
+// differ from real time, both in the direction of determinism: a partial
+// batch departs at a quiescence tick (the clock's idle callback) rather
+// than the instant the ready channel happens to look empty, and a
+// completion by itself flushes nothing — the workers it wakes get to
+// submit their follow-up queries at the same virtual instant first. Batch
+// sizes, round-trip counts and the virtual elapsed time therefore depend
+// only on the crawl's dependency structure, not on scheduler timing.
 type batcher struct {
 	// ctx is the crawl's context: every batch round trip is issued under
 	// it, so cancelling the crawl cancels its in-flight batches at the
@@ -45,10 +64,20 @@ type batcher struct {
 	inner    hiddendb.Server
 	opts     *core.Options
 	maxBatch int
+	depth    int
+	clock    *hiddendb.SimClock // nil outside virtual-time simulations
 	reqs     chan flightReq
-	sem      chan struct{}
 	donec    chan struct{}
+	tickc    chan struct{}
 	stop     chan struct{}
+
+	// pendingN and inflightN mirror the dispatcher's private state for the
+	// virtual clock's idle callback, which must decide "is there a batch to
+	// flush and a slot to fly it in?" from outside the dispatcher
+	// goroutine. They are only read at quiescence, when the dispatcher is
+	// parked and the values are exact.
+	pendingN  atomic.Int32
+	inflightN atomic.Int32
 
 	mu      sync.Mutex
 	flights map[string]*flight
@@ -70,6 +99,12 @@ type flight struct {
 	done chan struct{}
 	res  hiddendb.Result
 	err  error
+	// waiters counts the workers blocked on done; the deliverer mints one
+	// clock hold per waiter before waking them. sealed marks the flight
+	// delivered, so a late memo hit returns without blocking (and without
+	// touching its own hold). Both are guarded by batcher.mu.
+	waiters int
+	sealed  bool
 }
 
 // flightReq pairs a query with the flight awaiting its response.
@@ -79,40 +114,81 @@ type flightReq struct {
 }
 
 // newBatcher starts the dispatcher; the caller must close() it after the
-// crawl's last Answer has returned. workers bounds the in-flight query
-// count; a batch is wholly in flight while its round trip runs, so
-// maxBatch is clamped to workers.
-func newBatcher(ctx context.Context, inner hiddendb.Server, workers, maxBatch int, opts *core.Options) *batcher {
-	if workers < 1 {
-		workers = 1
+// crawl's last Answer has returned. maxBatch bounds the width of one round
+// trip, depth how many round trips overlap: at most maxBatch×depth queries
+// are in flight at once.
+func newBatcher(ctx context.Context, inner hiddendb.Server, maxBatch, depth int, clock *hiddendb.SimClock, opts *core.Options) *batcher {
+	if maxBatch < 1 {
+		maxBatch = 1
 	}
-	if maxBatch < 1 || maxBatch > workers {
-		maxBatch = workers
+	if depth < 1 {
+		depth = 1
 	}
 	b := &batcher{
 		ctx:      ctx,
 		inner:    inner,
 		opts:     opts,
 		maxBatch: maxBatch,
+		depth:    depth,
+		clock:    clock,
 		reqs:     make(chan flightReq, maxBatch),
-		sem:      make(chan struct{}, workers),
-		// Buffered to the in-flight bound (each in-flight batch holds at
-		// least one slot), so completion signals never block the issuing
-		// goroutine even when the dispatcher is stalled on the semaphore.
-		donec:   make(chan struct{}, workers),
+		// Buffered to the flight-slot count so completion signals never
+		// block a delivering goroutine even when the dispatcher is busy.
+		donec:   make(chan struct{}, depth),
+		tickc:   make(chan struct{}, 1),
 		stop:    make(chan struct{}),
 		flights: make(map[string]*flight),
+	}
+	if clock != nil {
+		clock.SetIdle(b.idleTick)
 	}
 	go b.run()
 	return b
 }
 
 // close stops the dispatcher. Safe only once no Answer call is pending.
-func (b *batcher) close() { close(b.stop) }
+func (b *batcher) close() {
+	if b.clock != nil {
+		b.clock.SetIdle(nil)
+		// A tick granted just before SetIdle carries a hold nobody will
+		// consume now that the dispatcher is stopping; drop it.
+		select {
+		case <-b.tickc:
+			b.clock.Release()
+		default:
+		}
+	}
+	close(b.stop)
+}
+
+// idleTick is the SimClock's quiescence callback: with a batch pending and
+// a flight slot free, wake the dispatcher to flush before virtual time
+// advances. The granted hold rides the tick message and is released by the
+// dispatcher once the flush is processed. Runs with the clock's lock held,
+// while every crawl goroutine is parked — the atomics are exact.
+func (b *batcher) idleTick() bool {
+	if b.pendingN.Load() == 0 || b.inflightN.Load() >= int32(b.depth) {
+		return false
+	}
+	select {
+	case b.tickc <- struct{}{}:
+		return true
+	default:
+		// A tick is already pending; its hold keeps the clock from
+		// advancing, so quiescence cannot actually be reached again before
+		// the dispatcher consumes it. Defensive only.
+		return false
+	}
+}
 
 // Answer submits q to the dispatcher and waits for its response. Each
 // distinct query is issued at most once across all workers. A crawl whose
 // ctx is already cancelled fails fast without enqueueing.
+//
+// Clock protocol: the calling worker owns one hold. A worker that joins an
+// existing flight releases it while blocked (delivery mints it back); the
+// worker that creates the flight keeps its hold riding the queued request,
+// where the dispatcher assumes it.
 func (b *batcher) Answer(q dataspace.Query) (hiddendb.Result, error) {
 	if err := b.ctx.Err(); err != nil {
 		return hiddendb.Result{}, err
@@ -126,82 +202,92 @@ func (b *batcher) Answer(q dataspace.Query) (hiddendb.Result, error) {
 	key := q.Key()
 	b.mu.Lock()
 	if f, ok := b.flights[key]; ok {
+		if f.sealed {
+			b.mu.Unlock()
+			return f.res, f.err
+		}
+		f.waiters++
 		b.mu.Unlock()
-		<-f.done
+		b.clock.Release()
+		<-f.done // delivery minted this worker's hold back
 		return f.res, f.err
 	}
 	if err := b.deferred; err != nil {
 		b.mu.Unlock()
 		return hiddendb.Result{}, err
 	}
-	f := &flight{done: make(chan struct{})}
+	f := &flight{done: make(chan struct{}), waiters: 1}
 	b.flights[key] = f
 	b.mu.Unlock()
 
-	b.reqs <- flightReq{q: q, f: f}
+	b.reqs <- flightReq{q: q, f: f} // the worker's hold rides the request
 	<-f.done
 	return f.res, f.err
 }
 
-// run is the dispatcher loop. Wait for a ready query (reaping completion
-// signals meanwhile), greedily drain whatever else is ready, then — while
-// the server is busy with earlier batches — keep collecting until the
-// batch fills or a round trip completes. Reserve one worker slot per query
-// and launch the batch without waiting for it.
+// run is the dispatcher loop. Wait for a trigger — a ready query, a
+// completed round trip, or (under a virtual clock) a quiescence tick —
+// greedily drain whatever else is ready into the pending batch, then
+// launch as much of it as the free flight slots allow. The pending list is
+// unbounded: the dispatcher never blocks outside its select, so the ready
+// channel cannot back up behind a stalled launch, and — under a virtual
+// clock — queries waiting for a slot hold no clock holds, letting
+// simulated time pass while they wait.
 func (b *batcher) run() {
-	inflight := 0 // batches launched and not yet reaped from donec
+	var pending []flightReq
+	inflight := 0
+	held := 0 // clock holds owned by the dispatcher (one per trigger consumed)
+
 	for {
-		var first flightReq
-	wait:
+		ticked := false
+		select {
+		case r := <-b.reqs:
+			pending = append(pending, r)
+		case <-b.donec:
+			inflight--
+		case <-b.tickc:
+			ticked = true
+		case <-b.stop:
+			return
+		}
+		held++
+	drain:
 		for {
 			select {
-			case first = <-b.reqs:
-				break wait
+			case r := <-b.reqs:
+				pending = append(pending, r)
+				held++
 			case <-b.donec:
 				inflight--
-			case <-b.stop:
-				return
-			}
-		}
-		batch := make([]flightReq, 1, b.maxBatch)
-		batch[0] = first
-	drain:
-		for len(batch) < b.maxBatch {
-			select {
-			case r := <-b.reqs:
-				batch = append(batch, r)
+				held++
 			default:
 				break drain
 			}
 		}
-		// Ack clock: an idle server gets the batch at once; a busy one
-		// buys time for the batch to grow until a completion (or a full
-		// batch) flushes it.
-	collect:
-		for inflight > 0 && len(batch) < b.maxBatch {
-			select {
-			case r := <-b.reqs:
-				batch = append(batch, r)
-			case <-b.donec:
-				inflight--
-				break collect
-			}
+		// Launch while a flight slot is free. A full-width batch always
+		// departs; a partial one departs speculatively under real time
+		// (the ready queue is drained — waiting could only delay it), but
+		// under a virtual clock only at a quiescence tick, when this
+		// simulated instant provably has no more queries to offer.
+		for len(pending) > 0 && inflight < b.depth &&
+			(len(pending) >= b.maxBatch || b.clock == nil || ticked) {
+			n := min(b.maxBatch, len(pending))
+			batch := make([]flightReq, n)
+			copy(batch, pending)
+			rest := copy(pending, pending[n:])
+			pending = pending[:rest]
+			inflight++
+			b.inflightN.Store(int32(inflight))
+			b.clock.Hold() // the issue goroutine's hold
+			go b.issue(batch)
 		}
-		// The acquire cannot block at shutdown: stop is only closed once
-		// every Answer has returned, i.e. when no batch is pending, and
-		// the slots of in-flight batches are released independently of
-		// this loop.
-		for range batch {
-			b.sem <- struct{}{}
+		b.pendingN.Store(int32(len(pending)))
+		b.inflightN.Store(int32(inflight))
+		// Park: drop the trigger holds so virtual time can pass while the
+		// pending batch waits for a slot or for the next instant's tick.
+		for ; held > 0; held-- {
+			b.clock.Release()
 		}
-		inflight++
-		go func(batch []flightReq) {
-			b.issue(batch)
-			for range batch {
-				<-b.sem
-			}
-			b.donec <- struct{}{}
-		}(batch)
 	}
 }
 
@@ -238,17 +324,25 @@ func (b *batcher) issue(batch []flightReq) {
 		}
 	}
 	points := make([]core.CurvePoint, len(results))
-	for i, res := range results {
-		b.queries++
-		if res.Overflow {
-			b.overfl++
+	waiters := 0
+	for i, r := range batch {
+		if i < len(results) {
+			r.f.res = results[i]
+			b.queries++
+			if results[i].Overflow {
+				b.overfl++
+			} else {
+				b.resolve++
+			}
+			points[i] = core.CurvePoint{Queries: b.queries, Tuples: b.tuples}
+			if b.opts.CollectCurve {
+				b.curve = append(b.curve, points[i])
+			}
 		} else {
-			b.resolve++
+			r.f.err = err
 		}
-		points[i] = core.CurvePoint{Queries: b.queries, Tuples: b.tuples}
-		if b.opts.CollectCurve {
-			b.curve = append(b.curve, points[i])
-		}
+		r.f.sealed = true
+		waiters += r.f.waiters
 	}
 	b.mu.Unlock()
 	if b.opts.OnProgress != nil {
@@ -257,14 +351,16 @@ func (b *batcher) issue(batch []flightReq) {
 		}
 	}
 
-	for i, r := range batch {
-		if i < len(results) {
-			r.f.res = results[i]
-		} else {
-			r.f.err = err
-		}
+	// Clock protocol: mint the woken workers' holds (and the completion
+	// signal's) before any of them can run, then retire this goroutine's.
+	for i := 0; i < waiters+1; i++ {
+		b.clock.Hold()
+	}
+	for _, r := range batch {
 		close(r.f.done)
 	}
+	b.donec <- struct{}{}
+	b.clock.Release()
 }
 
 // noteTuples records output growth for the progressiveness curve.

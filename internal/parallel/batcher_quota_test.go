@@ -60,9 +60,9 @@ func TestBatcherFailsFastAfterQuota(t *testing.T) {
 	}
 	rt := &roundTrips{Server: hiddendb.NewQuota(local, 2)}
 
-	// workers = maxBatch = 1 keeps the dispatch order deterministic: each
+	// maxBatch = depth = 1 keeps the dispatch order deterministic: each
 	// Answer is its own round trip.
-	b := newBatcher(context.Background(), rt, 1, 1, &core.Options{})
+	b := newBatcher(context.Background(), rt, 1, 1, nil, &core.Options{})
 	defer b.close()
 
 	qs := make([]dataspace.Query, 5)

@@ -16,6 +16,14 @@
 // query count nor any response — only the number of round trips, which
 // shrinks by roughly the batch size (Options.BatchSize, defaulting to the
 // worker count).
+//
+// Batches are dispatched speculatively, double-buffered: up to
+// Options.InFlight round trips (default 2) overlap, and the next batch
+// departs the moment a flight slot is free instead of waiting for the
+// previous round trip to complete — see batcher. With a
+// hiddendb.SimClock in Options.Clock the whole pipeline runs under
+// deterministic virtual time, which is how the latency ablation measures
+// wall clock reproducibly without sleeping.
 package parallel
 
 import (
@@ -30,12 +38,13 @@ import (
 )
 
 // Crawler runs hybrid (and its degenerate numeric/categorical forms) with
-// up to Workers queries in flight. It implements core.Crawler.
+// many queries in flight. It implements core.Crawler.
 type Crawler struct {
-	// Workers bounds the number of concurrently in-flight server queries —
-	// equivalently, the largest batch one AnswerBatch round trip may carry
-	// (unless Options.BatchSize lowers it). Zero or one degenerates to (a
-	// threaded equivalent of) the sequential algorithm.
+	// Workers is the width of one AnswerBatch round trip: the largest
+	// batch a single round trip may carry (unless Options.BatchSize lowers
+	// it). Up to Options.InFlight round trips (default 2) overlap, so at
+	// most Workers × InFlight queries are in flight at once. Zero or one
+	// degenerates to (a pipelined equivalent of) the sequential algorithm.
 	Workers int
 }
 
@@ -62,19 +71,32 @@ func (c Crawler) Crawl(ctx context.Context, srv hiddendb.Server, opts *core.Opti
 		opts = &core.Options{}
 	}
 	maxBatch := opts.BatchSize
-	if maxBatch <= 0 {
+	if maxBatch <= 0 || maxBatch > c.workers() {
 		maxBatch = c.workers()
 	}
-	b := newBatcher(ctx, srv, c.workers(), maxBatch, opts)
+	depth := opts.InFlight
+	if depth <= 0 {
+		// Double-buffer by default; with a narrowed batch width, keep at
+		// least Workers queries in flight (the pre-pipelining bound) by
+		// deepening the pipeline to compensate.
+		depth = max(2, (c.workers()+maxBatch-1)/maxBatch)
+	}
+	b := newBatcher(ctx, srv, maxBatch, depth, opts.Clock, opts)
 	defer b.close()
 	p := &pool{
 		srv:    b,
+		clock:  opts.Clock,
 		schema: srv.Schema(),
 		k:      srv.K(),
 		opts:   opts,
 		quit:   make(chan struct{}),
 	}
 	cat := p.schema.Cat()
+
+	// Under a virtual clock the crawl's root goroutine counts as runnable
+	// until it has finished seeding tasks; without the hold, the clock
+	// could advance while the first spawns are still being set up.
+	p.clock.Hold()
 
 	if cat == 0 {
 		p.spawn(func() error { return p.rankShrink(dataspace.UniverseQuery(p.schema)) })
@@ -109,6 +131,7 @@ func (c Crawler) Crawl(ctx context.Context, srv hiddendb.Server, opts *core.Opti
 		})
 	}
 
+	p.clock.Release()
 	p.wg.Wait()
 	if p.err != nil {
 		return nil, p.err
@@ -119,6 +142,7 @@ func (c Crawler) Crawl(ctx context.Context, srv hiddendb.Server, opts *core.Opti
 // pool carries the shared state of one parallel crawl.
 type pool struct {
 	srv    *batcher
+	clock  *hiddendb.SimClock // nil outside virtual-time simulations
 	schema *dataspace.Schema
 	k      int
 	opts   *core.Options
@@ -150,11 +174,16 @@ func (p *pool) fail(err error) {
 	})
 }
 
-// spawn runs f as a tracked task, recording its error.
+// spawn runs f as a tracked task, recording its error. Under a virtual
+// clock the task's hold is minted by the spawner, before the goroutine
+// exists, so the hold count can never dip to zero between the decision to
+// spawn and the task starting to run.
 func (p *pool) spawn(f func() error) {
 	p.wg.Add(1)
+	p.clock.Hold()
 	go func() {
 		defer p.wg.Done()
+		defer p.clock.Release()
 		if p.failed() {
 			return
 		}

@@ -301,30 +301,49 @@ func TestShardedServerUnderParallelCrawl(t *testing.T) {
 
 // flaggingServer mimics a third-party batch server that answers a whole
 // batch and reports quota exhaustion alongside the full results (instead
-// of the prefix contract this package's servers follow).
+// of the prefix contract this package's servers follow). Like any Server
+// under the pipelined batcher it must tolerate concurrent batches, hence
+// the mutex around the budget.
 type flaggingServer struct {
 	inner  hiddendb.Server
+	mu     sync.Mutex
 	budget int
 }
 
-func (f *flaggingServer) Answer(ctx context.Context, q dataspace.Query) (hiddendb.Result, error) {
+func (f *flaggingServer) take() (ok, exhausted bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if f.budget <= 0 {
-		return hiddendb.Result{}, hiddendb.ErrQuotaExceeded
+		return false, true
 	}
 	f.budget--
+	return true, f.budget == 0
+}
+
+func (f *flaggingServer) Answer(ctx context.Context, q dataspace.Query) (hiddendb.Result, error) {
+	ok, _ := f.take()
+	if !ok {
+		return hiddendb.Result{}, hiddendb.ErrQuotaExceeded
+	}
 	return f.inner.Answer(ctx, q)
 }
 
 func (f *flaggingServer) AnswerBatch(ctx context.Context, qs []dataspace.Query) ([]hiddendb.Result, error) {
 	out := make([]hiddendb.Result, 0, len(qs))
+	exhausted := false
 	for _, q := range qs {
-		res, err := f.Answer(ctx, q)
+		var ok bool
+		ok, exhausted = f.take()
+		if !ok {
+			return out, hiddendb.ErrQuotaExceeded
+		}
+		res, err := f.inner.Answer(ctx, q)
 		if err != nil {
 			return out, err
 		}
 		out = append(out, res)
 	}
-	if f.budget == 0 {
+	if exhausted {
 		// Full results plus the error — the shape the batcher must not
 		// drop on the floor.
 		return out, hiddendb.ErrQuotaExceeded

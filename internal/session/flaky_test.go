@@ -1,0 +1,93 @@
+package session
+
+import (
+	"context"
+	"testing"
+
+	"hidb/internal/core"
+	"hidb/internal/datagen"
+	"hidb/internal/hiddendb"
+)
+
+// TestSessionSurvivesFlakyStore: a transient store fault mid-crawl leaves
+// the session's layers agreeing — the journal holds exactly the paid
+// queries, the budget was debited per the quota contract — and the same
+// token's next crawl resumes from the journal for free, finishing at the
+// sequential reference cost. This is the answered-prefix stitching
+// regression through the per-client session stack (journal → caching →
+// quota → counting) over a shared fault-injecting store.
+func TestSessionSurvivesFlakyStore(t *testing.T) {
+	ds, err := datagen.Random(datagen.RandomSpec{
+		N: 3000, CatDomains: []int{5, 9}, NumRanges: [][2]int64{{0, 9999}}, Skew: 0.5, DupRate: 0.05,
+	}, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 32
+	if m := ds.Tuples.MaxMultiplicity(); m > k {
+		k = m
+	}
+	clean, err := hiddendb.NewLocal(ds.Schema, ds.Tuples, k, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := (core.Hybrid{}).Crawl(context.Background(), clean, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One abort window: exactly one fault, after which the store heals —
+	// the shape of a client disconnect or a transient 5xx.
+	flaky := hiddendb.NewFlaky(clean, hiddendb.FlakyConfig{AbortFrom: 10, AbortUntil: 11})
+	const budget = 1_000_000
+	table := NewTable(flaky, Config{Quota: budget})
+
+	sess, err := table.Get("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (core.Hybrid{}).Crawl(context.Background(), sess.Server(), nil); err == nil {
+		t.Fatal("crawl survived the injected abort")
+	} else if !hiddendb.Cancelled(err) {
+		t.Fatalf("err = %v, want a cancellation", err)
+	}
+	paid := sess.Queries()
+	if paid != 10 {
+		t.Fatalf("session paid %d queries before the abort, want 10", paid)
+	}
+	if sess.JournalLen() != paid {
+		t.Fatalf("journal %d entries for %d paid queries", sess.JournalLen(), paid)
+	}
+	// The abort was refunded: the remaining budget agrees with the paid
+	// count exactly.
+	if sess.Remaining() != budget-paid {
+		t.Fatalf("remaining %d, want %d", sess.Remaining(), budget-paid)
+	}
+
+	// The same token retries: journal replays the paid prefix free, the
+	// healed store serves the rest, and the combined cost is exactly the
+	// sequential reference.
+	sess2, err := table.Get("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess2 != sess {
+		t.Fatal("token resolved to a different session")
+	}
+	res, err := (core.Hybrid{}).Crawl(context.Background(), sess2.Server(), nil)
+	if err != nil {
+		t.Fatalf("resumed crawl: %v", err)
+	}
+	if !res.Tuples.EqualMultiset(ds.Tuples) {
+		t.Fatal("resumed crawl incomplete")
+	}
+	if sess2.Queries() != ref.Queries {
+		t.Fatalf("total paid %d, want the sequential reference %d", sess2.Queries(), ref.Queries)
+	}
+	if sess2.Replays() != paid {
+		t.Fatalf("resume replayed %d journal entries, want %d", sess2.Replays(), paid)
+	}
+	if sess2.JournalLen() != ref.Queries {
+		t.Fatalf("final journal %d entries, want %d", sess2.JournalLen(), ref.Queries)
+	}
+}
