@@ -7,13 +7,14 @@ BENCH_OUT ?= bench.out
 BENCH_JSON ?= BENCH_4.json
 BENCH_BASELINE ?= BENCH_3.json
 # Minimum statement coverage (percent) for the algorithm, server-contract,
-# pipelined-dispatcher and session packages, enforced by `make cover`.
+# pipelined-dispatcher, session, fault-injection and retrying-transport
+# packages, enforced by `make cover`.
 # Raise as the suite grows; never lower it to ship.
-COVER_PKGS ?= ./internal/core ./internal/hiddendb ./internal/parallel ./internal/session
+COVER_PKGS ?= ./internal/core ./internal/hiddendb ./internal/parallel ./internal/session ./internal/chaos ./internal/httpclient
 COVER_MIN ?= 80
 COVER_OUT ?= cover.out
 
-.PHONY: all build check test race cover bench clean
+.PHONY: all build check test race cover bench chaos clean
 
 all: build check test race cover
 
@@ -60,6 +61,14 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . ./internal/index > $(BENCH_OUT) || { cat $(BENCH_OUT); exit 1; }
 	cat $(BENCH_OUT)
 	$(GO) run ./scripts/benchjson -in $(BENCH_OUT) -out $(BENCH_JSON) -baseline $(BENCH_BASELINE)
+
+# chaos runs the resilience suites under the race detector in short mode:
+# the end-to-end soak (every algorithm through a hostile network and two
+# server crash/restarts, paid queries bit-equal to the fault-free
+# reference), the retrying transport, the crash-safe journal recovery and
+# the load-shedding server.
+chaos: build
+	$(GO) test -race -short ./internal/chaos/ ./internal/httpclient/ ./internal/journal/ ./internal/httpserver/ ./internal/session/
 
 clean:
 	rm -f $(BENCH_OUT) $(COVER_OUT)

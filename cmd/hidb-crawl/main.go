@@ -32,6 +32,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"hidb"
@@ -41,41 +42,27 @@ import (
 )
 
 // loadJournal reads the journal file or starts a fresh one matching srv.
+// A torn or corrupted file (crash mid-persist) is recovered to its longest
+// valid prefix — the damaged original is quarantined as <path>.corrupt —
+// so an interrupted session never loses everything it paid for.
 func loadJournal(path string, srv hidb.Server) *hidb.Journal {
-	f, err := os.Open(path)
+	j, err := hidb.LoadJournalFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return hidb.NewJournal(srv.Schema(), srv.K())
 	}
-	if err != nil {
-		log.Print(err)
-		os.Exit(1)
+	var ce *hidb.JournalCorruptionError
+	if errors.As(err, &ce) {
+		log.Printf("journal %s was damaged (%v); recovered %d entries, damaged tail quarantined as %s.corrupt", path, ce.Reason, ce.Entries, path)
+		if j == nil {
+			return hidb.NewJournal(srv.Schema(), srv.K())
+		}
+		return j
 	}
-	defer f.Close()
-	j, err := hidb.ReadJournal(f)
 	if err != nil {
 		log.Printf("reading journal %s: %v", path, err)
 		os.Exit(1)
 	}
 	return j
-}
-
-// saveJournal atomically persists the journal next to its final path.
-func saveJournal(path string, j *hidb.Journal) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if _, err := j.WriteTo(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
 }
 
 func main() {
@@ -95,18 +82,38 @@ func main() {
 	workers := flag.Int("workers", 1, "concurrent in-flight queries (same cost, less wall-clock)")
 	batch := flag.Int("batch", 0, "max queries per AnswerBatch round trip (0 = worker count; capped at -workers)")
 	inflight := flag.Int("inflight", 0, "pipeline depth: overlapped AnswerBatch round trips (0 = default 2; 1 = flush-on-completion)")
+	token := flag.String("token", "", "API token sent as Authorization: Bearer (per-session quota/journal on the server)")
+	retries := flag.Int("retries", 0, "retry transient remote failures up to this many attempts per operation, with backoff (0 = fail fast); against a per-session server retried queries replay from its journal for free")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "after SIGINT/SIGTERM, force-exit if the crawl has not wound down within this long (the journal saved so far stays intact)")
 	flag.Parse()
 
-	// Ctrl-C cancels the crawl between queries instead of killing the
-	// process: with -journal, everything already paid is persisted below,
-	// so the next run resumes for free.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGINT/SIGTERM cancel the crawl between queries instead of killing
+	// the process: with -journal, everything already paid is persisted
+	// below, so the next run resumes for free. A watchdog force-exits if
+	// the wind-down (a stuck round trip, a slow journal write) outlives
+	// -drain-timeout — the atomic journal save guarantees the last
+	// complete snapshot survives even then.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	go func() {
+		<-ctx.Done()
+		timer := time.NewTimer(*drainTimeout)
+		defer timer.Stop()
+		<-timer.C
+		log.Printf("wind-down exceeded -drain-timeout %v; forcing exit", *drainTimeout)
+		os.Exit(1)
+	}()
 
 	var srv hidb.Server
 	var groundTruth hidb.Bag
 	if *url != "" {
-		c, err := hidb.DialHTTP(ctx, *url, nil)
+		var c *hidb.RemoteClient
+		var err error
+		if *retries > 0 {
+			c, err = hidb.DialHTTPRetry(ctx, *url, *token, nil, hidb.RetryPolicy{MaxAttempts: *retries})
+		} else {
+			c, err = hidb.DialHTTPToken(ctx, *url, *token, nil)
+		}
 		if err != nil {
 			log.Print(err)
 			os.Exit(1)
@@ -164,7 +171,7 @@ func main() {
 	start := time.Now()
 	res, err := crawler.Crawl(ctx, srv, opts)
 	if jnl != nil {
-		if serr := saveJournal(*journalPath, jnl); serr != nil {
+		if serr := hidb.SaveJournalFile(*journalPath, jnl); serr != nil {
 			log.Printf("saving journal: %v", serr)
 		} else {
 			log.Printf("journal saved: %d total paid queries", jnl.Len())

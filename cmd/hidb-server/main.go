@@ -33,8 +33,17 @@
 // already-paid queries replay for free. The global -quota is mutually
 // exclusive with session mode.
 //
+// -max-inflight N sheds query-carrying requests beyond N concurrent with
+// 503 + Retry-After instead of queueing them, and makes a full session
+// table turn new tokens away rather than evict an established client's
+// session. GET /healthz reports readiness as JSON; on SIGINT/SIGTERM the
+// server drains — new requests shed, /healthz goes not-ready, in-flight
+// work finishes within -drain-timeout — and persists every session journal
+// before exiting, so reconnecting crawlers resume for free.
+//
 // Crawl it with `hidb-crawl -url http://localhost:8080` (add -workers N to
-// crawl with batches of up to N queries per round trip).
+// crawl with batches of up to N queries per round trip; add -retries to
+// ride out transient failures).
 package main
 
 import (
@@ -47,6 +56,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"hidb"
@@ -91,6 +101,8 @@ func main() {
 	sessionTTL := flag.Duration("session-ttl", 0, "idle session expiry — the budget window (0 = never; enables sessions)")
 	journalDir := flag.String("journal-dir", "", "persist each session's journal here on eviction/shutdown, reload on reconnect (enables sessions)")
 	maxSessions := flag.Int("max-sessions", 0, "live session cap, LRU-evicted beyond it (0 = default)")
+	maxInFlight := flag.Int("max-inflight", 0, "shed query-carrying requests beyond this concurrency with 503 + Retry-After (0 = unbounded; any value enables shedding: a full session table turns new tokens away instead of evicting)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long a SIGINT/SIGTERM shutdown waits for in-flight requests to finish")
 	flag.Parse()
 
 	sessions := *quotaPerClient > 0 || *ratePerClient > 0 || *sessionTTL > 0 || *journalDir != "" || *maxSessions > 0
@@ -134,6 +146,9 @@ func main() {
 	} else if *quota > 0 {
 		opts = append(opts, httpserver.WithQuota(*quota))
 	}
+	if *maxInFlight > 0 {
+		opts = append(opts, httpserver.WithShedding(*maxInFlight))
+	}
 	handler := httpserver.New(srv, opts...)
 
 	mode := "global"
@@ -144,11 +159,11 @@ func main() {
 		ds.Name, ds.N(), *k, ds.Tuples.MaxMultiplicity(), srv.Shards(), mode, *addr)
 	// A clean shutdown persists live sessions' journals, so resumable
 	// crawls survive a server restart, not just an eviction. The signal
-	// ctx is also every request's base context: on SIGINT the in-flight
-	// crawls and batches cancel at their next query boundary (their paid
-	// prefixes are journaled), so Shutdown drains promptly instead of
-	// waiting out a long-running /crawl stream.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// ctx is also every request's base context: on SIGINT/SIGTERM the
+	// in-flight crawls and batches cancel at their next query boundary
+	// (their paid prefixes are journaled), so Shutdown drains promptly
+	// instead of waiting out a long-running /crawl stream.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	server := &http.Server{
 		Addr:              *addr,
@@ -164,8 +179,13 @@ func main() {
 		os.Exit(1)
 	case <-ctx.Done():
 		stop()
-		log.Print("shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		log.Print("draining, then shutting down")
+		// Flip the handler into drain mode first: new query-carrying
+		// requests are shed with 503 + Retry-After and /healthz goes
+		// not-ready, so load balancers stop routing here while the
+		// in-flight work finishes inside the drain budget.
+		handler.Drain()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := server.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("shutdown: %v", err)

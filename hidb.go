@@ -79,6 +79,30 @@
 // nth-query failures and ctx-abort windows in front of any Server, for
 // testing that crawls resume correctly and budgets stay consistent under
 // real-world failure.
+//
+// # Resilience
+//
+// The remote stack is built to survive hostile networks and server
+// restarts without ever distorting the paper's cost metric. DialHTTPRetry
+// arms the client with a RetryPolicy: transient failures — 5xx answers,
+// refused or reset connections, lost responses, per-attempt timeouts — are
+// retried with capped exponential backoff and seeded jitter, honouring the
+// server's Retry-After; protocol answers (a quota rejection, a malformed
+// query) are never retried. A severed /crawl stream resumes automatically
+// from the tuple after the last one delivered, so reconnects neither
+// duplicate nor lose tuples. None of this double-charges the client: a
+// per-session server journals every paid answer, so a retried query or a
+// resumed crawl replays the journaled prefix for free, and the paid query
+// count comes out identical to a fault-free run. When retries are
+// exhausted (or a retry budget runs dry) the failure surfaces as a
+// *TransportError. On the serving side the handler sheds overload rather
+// than degrading — 503 + Retry-After beyond a concurrency bound, new
+// tokens turned away when the session table is full — and Drain plus a
+// not-ready /healthz give restarts a clean exit: in-flight work finishes,
+// journals persist, and a reconnecting client resumes where it left off.
+// Session journals persist crash-safely (write-temp-then-rename, per-record
+// checksums); a file torn by a crash mid-persist recovers its longest valid
+// prefix, so at most the unflushed tail is ever re-paid.
 package hidb
 
 import (
@@ -311,6 +335,29 @@ func DialHTTPToken(ctx context.Context, baseURL, token string, httpClient *http.
 	return httpclient.DialToken(ctx, baseURL, token, httpClient)
 }
 
+// RetryPolicy tunes the fault-tolerant transport of DialHTTPRetry: attempt
+// cap, backoff shape, seeded jitter, per-attempt timeout, and an optional
+// cross-call retry budget that brakes retry storms. The zero value gives
+// sensible defaults.
+type RetryPolicy = httpclient.RetryPolicy
+
+// TransportError reports a remote operation that failed even after the
+// policy's retries (or whose retry budget ran dry). Unwrap yields the last
+// attempt's error.
+type TransportError = httpclient.TransportError
+
+// DialHTTPRetry connects like DialHTTPToken and arms the client with a
+// retrying transport: transient failures (5xx answers, transport errors,
+// per-attempt timeouts) back off and retry under policy, severed /crawl
+// streams resume from the tuple after the last one delivered, and — against
+// a per-session server, which journals every paid answer — none of it
+// double-charges: replays are free, so the paid query count matches a
+// fault-free run. Protocol answers (quota exceeded, bad request) are never
+// retried. Failures that outlive the policy surface as *TransportError.
+func DialHTTPRetry(ctx context.Context, baseURL, token string, httpClient *http.Client, policy RetryPolicy) (*RemoteClient, error) {
+	return httpclient.DialRetry(ctx, baseURL, token, httpClient, policy)
+}
+
 // ParallelCrawler returns a crawler that drains ready queries into
 // AnswerBatch round trips of up to workers queries each (tunable via
 // CrawlOptions.BatchSize) and keeps up to CrawlOptions.InFlight round
@@ -376,8 +423,28 @@ type Journal = journal.Journal
 // and return limit.
 func NewJournal(schema *Schema, k int) *Journal { return journal.New(schema, k) }
 
-// ReadJournal deserializes a journal written with Journal.WriteTo.
+// ReadJournal deserializes a journal written with Journal.WriteTo. A torn
+// or corrupted stream recovers its longest valid prefix: the journal is
+// returned alongside a *JournalCorruptionError (errors.As) instead of
+// being discarded — only the damaged tail's queries must be re-paid.
 func ReadJournal(r io.Reader) (*Journal, error) { return journal.ReadFrom(r) }
+
+// JournalCorruptionError reports a torn or corrupted journal. The journal
+// returned with it holds the longest valid prefix and is safe to use.
+type JournalCorruptionError = journal.CorruptionError
+
+// SaveJournalFile persists a journal crash-safely: write to a temp file in
+// the target directory, fsync, rename over the final path. A crash at any
+// instant leaves either the old or the new complete journal, never a torn
+// mix.
+func SaveJournalFile(path string, j *Journal) error { return journal.SaveFile(path, j) }
+
+// LoadJournalFile reads a journal persisted with SaveJournalFile. Damaged
+// files are recovered to their longest valid prefix, the original
+// quarantined as path+".corrupt", and the recovery reported via a
+// *JournalCorruptionError alongside the (usable) journal. A missing file's
+// error wraps fs.ErrNotExist.
+func LoadJournalFile(path string) (*Journal, error) { return journal.LoadFile(path) }
 
 // WithJournal wraps a server so that journaled queries are answered from
 // the log at zero cost and new responses are recorded. Re-running a crawl

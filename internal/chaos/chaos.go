@@ -1,0 +1,273 @@
+// Package chaos provides a fault-injecting http.RoundTripper for testing
+// the client stack's resilience guarantees end to end: requests dropped
+// before they reach the server, responses lost after the server has done
+// the work, streaming bodies severed mid-tuple, fabricated 5xx answers
+// from a flaky intermediary, and client-observed timeouts.
+//
+// Faults come from two sources that compose:
+//
+//   - Scripted schedules, attached per URL path with Script: each matching
+//     request consumes the next fault in its list (an exhausted list means
+//     no fault). Scripts make a test's hostile sequence exact and
+//     repeatable — "sever the first crawl stream at byte 600, let the
+//     retry through".
+//   - Seeded randomness, enabled with Seed: requests with no scripted
+//     fault draw from a simrand.RNG, so a soak can hammer the stack with a
+//     storm that is hostile yet perfectly reproducible from its seed.
+//
+// The transport never invents work the server did not do — an injected
+// fault either suppresses a request entirely (the server sees nothing) or
+// damages a response the server has already produced. That makes it the
+// right instrument for the package's sacred invariant: however hostile the
+// schedule, a retrying client must pay exactly the fault-free query count,
+// because every repeated query is replayed from the server's session
+// journal for free.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"hidb/internal/simrand"
+)
+
+// Kind enumerates the injectable faults.
+type Kind int
+
+const (
+	// Pass lets the request through untouched.
+	Pass Kind = iota
+	// DropBeforeSend fails the request without sending it: the server
+	// never sees it, as with a refused or unreachable connection.
+	DropBeforeSend
+	// DropAfterSend sends the request and discards the response: the
+	// server has done (and charged for) the work, but the client learns
+	// nothing — a response lost in transit.
+	DropAfterSend
+	// TruncateBody delivers the response headers, then severs the body
+	// after Byte bytes — a connection reset mid-stream.
+	TruncateBody
+	// InjectStatus suppresses the request and fabricates a bodyless
+	// response with Status (default 503), as a struggling intermediary
+	// would.
+	InjectStatus
+	// Timeout fails the request with a timeout-flavoured transport error
+	// without sending it.
+	Timeout
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Pass:
+		return "pass"
+	case DropBeforeSend:
+		return "drop-before-send"
+	case DropAfterSend:
+		return "drop-after-send"
+	case TruncateBody:
+		return "truncate-body"
+	case InjectStatus:
+		return "inject-status"
+	case Timeout:
+		return "timeout"
+	default:
+		return fmt.Sprintf("chaos.Kind(%d)", int(k))
+	}
+}
+
+// Fault is one injected failure.
+type Fault struct {
+	Kind   Kind
+	Byte   int // TruncateBody: response bytes allowed through
+	Status int // InjectStatus: HTTP status to fabricate; 0 means 503
+}
+
+// faultError is the transport-level error surfaced for suppressed or
+// damaged exchanges. It implements net.Error so timeout faults look like
+// real deadline expiries to the caller.
+type faultError struct {
+	kind Kind
+	op   string
+}
+
+func (e *faultError) Error() string   { return "chaos: " + e.kind.String() + " on " + e.op }
+func (e *faultError) Timeout() bool   { return e.kind == Timeout }
+func (e *faultError) Temporary() bool { return true }
+
+// Transport injects faults into requests flowing through an inner
+// http.RoundTripper. The zero value is not usable; build one with New.
+// Safe for concurrent use.
+type Transport struct {
+	inner http.RoundTripper
+
+	mu      sync.Mutex
+	scripts map[string][]Fault // path prefix → pending scripted faults
+	rng     *simrand.RNG       // nil → no random faults
+	prob    float64
+	counts  map[Kind]int
+}
+
+// New wraps inner (http.DefaultTransport when nil) with a fault injector
+// that, until configured via Script or Seed, passes everything through.
+func New(inner http.RoundTripper) *Transport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &Transport{
+		inner:   inner,
+		scripts: make(map[string][]Fault),
+		counts:  make(map[Kind]int),
+	}
+}
+
+// Script queues faults for requests whose URL path starts with prefix.
+// Each matching request consumes one entry in order; when the list runs
+// out, matching requests fall back to the random layer (or pass through).
+func (t *Transport) Script(prefix string, faults ...Fault) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.scripts[prefix] = append(t.scripts[prefix], faults...)
+}
+
+// Seed arms the random fault layer: every request without a scripted fault
+// suffers one with probability prob, drawn deterministically from the
+// seed. Streaming paths (/crawl) get body truncation at a random offset;
+// other paths get drops, fabricated 5xx answers and timeouts — never body
+// truncation, which a unary JSON client cannot distinguish from a server
+// bug.
+func (t *Transport) Seed(seed uint64, prob float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rng = simrand.New(seed)
+	t.prob = prob
+}
+
+// Faults returns how many faults have been injected so far.
+func (t *Transport) Faults() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	total := 0
+	for _, n := range t.counts {
+		total += n
+	}
+	return total
+}
+
+// Counts returns per-kind injection counts (Pass is never counted).
+func (t *Transport) Counts() map[Kind]int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[Kind]int, len(t.counts))
+	for k, n := range t.counts {
+		out[k] = n
+	}
+	return out
+}
+
+// pick decides the fault for one request. Called with t.mu held.
+func (t *Transport) pick(path string) Fault {
+	for prefix, pending := range t.scripts {
+		if strings.HasPrefix(path, prefix) && len(pending) > 0 {
+			f := pending[0]
+			t.scripts[prefix] = pending[1:]
+			return f
+		}
+	}
+	if t.rng == nil || !t.rng.Bool(t.prob) {
+		return Fault{Kind: Pass}
+	}
+	if strings.HasPrefix(path, "/crawl") {
+		// Streaming endpoint: sever the body somewhere in the first ~4KB.
+		return Fault{Kind: TruncateBody, Byte: t.rng.Intn(4096)}
+	}
+	switch t.rng.Intn(4) {
+	case 0:
+		return Fault{Kind: DropBeforeSend}
+	case 1:
+		return Fault{Kind: DropAfterSend}
+	case 2:
+		return Fault{Kind: InjectStatus, Status: 503}
+	default:
+		return Fault{Kind: Timeout}
+	}
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	f := t.pick(req.URL.Path)
+	if f.Kind != Pass {
+		t.counts[f.Kind]++
+	}
+	t.mu.Unlock()
+
+	op := req.Method + " " + req.URL.Path
+	switch f.Kind {
+	case DropBeforeSend, Timeout:
+		// Per the RoundTripper contract the body must be closed even when
+		// the request is never sent.
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, &faultError{kind: f.Kind, op: op}
+	case InjectStatus:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		status := f.Status
+		if status == 0 {
+			status = http.StatusServiceUnavailable
+		}
+		return &http.Response{
+			Status:     fmt.Sprintf("%d %s", status, http.StatusText(status)),
+			StatusCode: status,
+			Proto:      "HTTP/1.1",
+			ProtoMajor: 1,
+			ProtoMinor: 1,
+			Header:     http.Header{"X-Chaos": []string{"injected"}},
+			Body:       io.NopCloser(strings.NewReader("")),
+			Request:    req,
+		}, nil
+	}
+
+	resp, err := t.inner.RoundTrip(req)
+	if err != nil || f.Kind == Pass {
+		return resp, err
+	}
+	switch f.Kind {
+	case DropAfterSend:
+		// The server has answered; lose the response on the way back.
+		resp.Body.Close()
+		return nil, &faultError{kind: f.Kind, op: op}
+	case TruncateBody:
+		resp.Body = &truncatedBody{rc: resp.Body, remaining: f.Byte, op: op}
+		return resp, nil
+	default:
+		return resp, nil
+	}
+}
+
+// truncatedBody delivers at most remaining bytes, then fails every read
+// like a reset connection would.
+type truncatedBody struct {
+	rc        io.ReadCloser
+	remaining int
+	op        string
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, &faultError{kind: TruncateBody, op: b.op}
+	}
+	if len(p) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= n
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }

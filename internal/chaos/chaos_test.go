@@ -1,0 +1,191 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// Scripted faults are consumed one per matching request, in order, and
+// suppressed requests never reach the server.
+func TestScriptedFaultsInOrder(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+
+	tr := New(nil)
+	tr.Script("/a",
+		Fault{Kind: DropBeforeSend},
+		Fault{Kind: InjectStatus, Status: 503},
+		Fault{Kind: Pass},
+	)
+	client := &http.Client{Transport: tr}
+
+	if _, err := client.Get(ts.URL + "/a"); err == nil {
+		t.Fatal("drop-before-send returned no error")
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("dropped request reached the server (%d hits)", hits.Load())
+	}
+
+	resp, err := client.Get(ts.URL + "/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("injected status: got %d, want 503", resp.StatusCode)
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("injected-status request reached the server (%d hits)", hits.Load())
+	}
+
+	resp, err = client.Get(ts.URL + "/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || hits.Load() != 1 {
+		t.Fatalf("pass-through request: status %d, hits %d", resp.StatusCode, hits.Load())
+	}
+
+	// Other paths are untouched by the script.
+	resp, err = client.Get(ts.URL + "/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 2 {
+		t.Fatalf("unscripted path was faulted (hits %d)", hits.Load())
+	}
+	if tr.Faults() != 2 {
+		t.Fatalf("Faults() = %d, want 2", tr.Faults())
+	}
+}
+
+// DropAfterSend loses the response but the server has done the work.
+func TestDropAfterSendReachesServer(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+
+	tr := New(nil)
+	tr.Script("/", Fault{Kind: DropAfterSend})
+	client := &http.Client{Transport: tr}
+	if _, err := client.Get(ts.URL + "/x"); err == nil {
+		t.Fatal("drop-after-send returned no error")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server hits = %d, want 1 (the request must go through)", hits.Load())
+	}
+}
+
+// TruncateBody delivers exactly the allowed prefix, then read errors.
+func TestTruncateBody(t *testing.T) {
+	payload := strings.Repeat("x", 100)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	defer ts.Close()
+
+	tr := New(nil)
+	tr.Script("/", Fault{Kind: TruncateBody, Byte: 10})
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get(ts.URL + "/s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatal("truncated body read to EOF without error")
+	}
+	if string(got) != payload[:10] {
+		t.Fatalf("read %q before the cut, want the first 10 bytes", got)
+	}
+}
+
+// A seeded transport injects the same fault schedule every time; a
+// different seed diverges.
+func TestSeededDeterminism(t *testing.T) {
+	schedule := func(seed uint64) []Kind {
+		tr := New(nil)
+		tr.Seed(seed, 0.5)
+		var kinds []Kind
+		for i := 0; i < 64; i++ {
+			path := "/query"
+			if i%3 == 0 {
+				path = "/crawl"
+			}
+			tr.mu.Lock()
+			kinds = append(kinds, tr.pick(path).Kind)
+			tr.mu.Unlock()
+		}
+		return kinds
+	}
+	a, b, c := schedule(7), schedule(7), schedule(8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	// Streaming paths only ever suffer body truncation from the random layer.
+	tr := New(nil)
+	tr.Seed(11, 1)
+	for i := 0; i < 32; i++ {
+		tr.mu.Lock()
+		f := tr.pick("/crawl")
+		tr.mu.Unlock()
+		if f.Kind != TruncateBody {
+			t.Fatalf("random fault on /crawl is %v, want truncate-body", f.Kind)
+		}
+	}
+}
+
+// Timeout faults look like net timeouts so deadline-aware callers can
+// classify them.
+func TestTimeoutFaultIsNetTimeout(t *testing.T) {
+	tr := New(nil)
+	tr.Script("/", Fault{Kind: Timeout})
+	client := &http.Client{Transport: tr}
+	_, err := client.Get("http://127.0.0.1:0/never-sent")
+	if err == nil {
+		t.Fatal("timeout fault returned no error")
+	}
+	if !isTimeout(err) {
+		t.Fatalf("timeout fault error %v does not report Timeout()", err)
+	}
+}
+
+func isTimeout(err error) bool {
+	for err != nil {
+		if te, ok := err.(interface{ Timeout() bool }); ok && te.Timeout() {
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

@@ -1,0 +1,183 @@
+package chaos
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"hidb/internal/datagen"
+	"hidb/internal/hiddendb"
+	"hidb/internal/httpclient"
+	"hidb/internal/httpserver"
+	"hidb/internal/session"
+)
+
+// restartFront simulates a server crash-and-restart behind a stable
+// address: at scripted crawl-connection indices it drains the current
+// handler (in-flight work finishes), persists every session journal via
+// Close, and swaps in a fresh handler that reloads those journals from the
+// same directory — exactly what a supervised process restart does.
+type restartFront struct {
+	t  *testing.T
+	mk func() *httpserver.Handler
+
+	mu        sync.Mutex
+	cur       *httpserver.Handler
+	crawls    int
+	restartAt map[int]bool
+	restarts  int
+}
+
+func (f *restartFront) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	if r.URL.Path == "/crawl" {
+		if f.restartAt[f.crawls] {
+			f.restart()
+		}
+		f.crawls++
+	}
+	h := f.cur
+	f.mu.Unlock()
+	h.ServeHTTP(w, r)
+}
+
+// restart is called with f.mu held.
+func (f *restartFront) restart() {
+	old := f.cur
+	old.Drain()
+	deadline := time.Now().Add(10 * time.Second)
+	for old.InFlight() > 0 {
+		if time.Now().After(deadline) {
+			f.t.Error("restart: drain timed out with requests in flight")
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := old.Sessions().Close(); err != nil {
+		f.t.Errorf("restart: persisting journals: %v", err)
+	}
+	f.cur = f.mk()
+	f.restarts++
+}
+
+// TestChaosSoak is the end-to-end resilience soak: every crawling
+// algorithm extracts its database through a hostile network (seeded random
+// drops, fabricated 503s, timeouts, and two scripted mid-stream body
+// truncations) while the server crashes and restarts twice, reloading its
+// crash-safe session journals. However hostile the run, three things must
+// hold: the stitched crawl delivers the exact dataset bag (no duplicate,
+// no lost tuples), the hidden store is charged exactly the fault-free
+// sequential reference count (reconnects and restarts replay journaled
+// answers for free), and the faults demonstrably fired.
+func TestChaosSoak(t *testing.T) {
+	numeric := datagen.RandomSpec{N: 60, NumRanges: [][2]int64{{0, 2000}, {0, 300}}, DupRate: 0.05}
+	categorical := datagen.RandomSpec{N: 60, CatDomains: []int{6, 7}, DupRate: 0.05}
+	mixed := datagen.RandomSpec{N: 60, CatDomains: []int{4}, NumRanges: [][2]int64{{0, 500}}, DupRate: 0.05}
+
+	cases := []struct {
+		algo string
+		spec datagen.RandomSpec
+		seed uint64
+	}{
+		{"binary-shrink", numeric, 101},
+		{"rank-shrink", numeric, 102},
+		{"dfs", categorical, 103},
+		{"slice-cover", categorical, 104},
+		{"lazy-slice-cover", categorical, 105},
+		{"hybrid", mixed, 106},
+	}
+	const k = 10
+
+	for _, tc := range cases {
+		t.Run(tc.algo, func(t *testing.T) {
+			ds, err := datagen.Random(tc.spec, 17)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Fault-free sequential reference.
+			refLocal, err := hiddendb.NewLocal(ds.Schema, ds.Tuples, k, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refShared := hiddendb.NewCounting(refLocal)
+			refTS := httptest.NewServer(httpserver.New(refShared, httpserver.WithSessions(session.Config{})))
+			refClient, err := httpclient.DialToken(context.Background(), refTS.URL, "soak", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := refClient.Crawl(context.Background(), tc.algo, 0, nil)
+			refTS.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if refShared.Queries() != ref.Queries {
+				t.Fatalf("reference disagrees with the store: client paid %d, store served %d", ref.Queries, refShared.Queries())
+			}
+
+			// Chaos run: same data, same store seed, hostile everything.
+			dir := t.TempDir()
+			local, err := hiddendb.NewLocal(ds.Schema, ds.Tuples, k, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shared := hiddendb.NewCounting(local)
+			front := &restartFront{
+				t: t,
+				mk: func() *httpserver.Handler {
+					return httpserver.New(shared,
+						httpserver.WithSessions(session.Config{JournalDir: dir}),
+						httpserver.WithShedding(8))
+				},
+				restartAt: map[int]bool{1: true, 2: true},
+			}
+			front.cur = front.mk()
+			ts := httptest.NewServer(front)
+			defer ts.Close()
+
+			tr := New(nil)
+			// Two guaranteed mid-stream severs force connections 1 and 2 —
+			// the ones the front crashes the server on — and the third
+			// connection is left alone so every run terminates.
+			tr.Script("/crawl",
+				Fault{Kind: TruncateBody, Byte: 400},
+				Fault{Kind: TruncateBody, Byte: 700},
+				Fault{Kind: Pass},
+			)
+			tr.Seed(tc.seed, 0.15)
+
+			clock := hiddendb.NewSimClock()
+			c, err := httpclient.DialRetry(context.Background(), ts.URL, "soak", &http.Client{Transport: tr}, httpclient.RetryPolicy{
+				MaxAttempts: 10,
+				Clock:       clock,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := c.Crawl(context.Background(), tc.algo, 0, nil)
+			if err != nil {
+				t.Fatalf("chaos crawl failed: %v (faults %v)", err, tr.Counts())
+			}
+
+			if !res.Tuples.EqualMultiset(ref.Tuples) {
+				t.Errorf("stitched crawl has %d tuples, reference %d (duplicate or lost tuples)", len(res.Tuples), len(ref.Tuples))
+			}
+			if shared.Queries() != ref.Queries {
+				t.Errorf("hidden store charged %d queries, fault-free reference %d (faults %v, restarts %d)",
+					shared.Queries(), ref.Queries, tr.Counts(), front.restarts)
+			}
+			if res.Queries > ref.Queries {
+				t.Errorf("client-visible paid count %d exceeds the reference %d", res.Queries, ref.Queries)
+			}
+			if front.restarts != 2 {
+				t.Errorf("server restarted %d times, want 2", front.restarts)
+			}
+			if tr.Faults() < 2 {
+				t.Errorf("only %d faults fired; the soak was not hostile", tr.Faults())
+			}
+		})
+	}
+}

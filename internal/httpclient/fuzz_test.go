@@ -1,13 +1,18 @@
 package httpclient
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
+	"hidb/internal/datagen"
 	"hidb/internal/dataspace"
 	"hidb/internal/hiddendb"
+	"hidb/internal/httpserver"
+	"hidb/internal/session"
 	"hidb/internal/wire"
 )
 
@@ -101,6 +106,96 @@ func FuzzCrawlStream(f *testing.F) {
 			if len(emitted) > events {
 				t.Fatalf("emitted %d tuples from %d events", len(emitted), events)
 			}
+		}
+	})
+}
+
+// FuzzCrawlReconnectSchedule drives the real auto-resume loop — DialRetry,
+// Crawl, the skip cursor — against a live server whose /crawl responses
+// are truncated per a fuzzed chaos schedule (one byte per connection: the
+// fraction of the stream allowed through, 255 = undisturbed). However the
+// schedule severs the streams, the stitched crawl must deliver the exact
+// dataset bag once — no duplicates, no losses — and pay exactly the
+// fault-free query count, since every reconnect replays the journaled
+// prefix for free.
+func FuzzCrawlReconnectSchedule(f *testing.F) {
+	f.Add([]byte{128})
+	f.Add([]byte{0, 0, 64})
+	f.Add([]byte{20, 255, 90})
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6})
+
+	ds, err := datagen.Random(datagen.RandomSpec{
+		N:          80,
+		CatDomains: []int{4},
+		NumRanges:  [][2]int64{{0, 300}},
+		DupRate:    0.05,
+	}, 29)
+	if err != nil {
+		f.Fatal(err)
+	}
+	const k = 8
+
+	// Fault-free reference cost, computed once.
+	refLocal, err := hiddendb.NewLocal(ds.Schema, ds.Tuples, k, 42)
+	if err != nil {
+		f.Fatal(err)
+	}
+	refHandler := httpserver.New(refLocal, httpserver.WithSessions(session.Config{}))
+	refTS := httptest.NewServer(refHandler)
+	refClient, err := DialToken(context.Background(), refTS.URL, "tok", nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	ref, err := refClient.Crawl(context.Background(), "", 0, nil)
+	refTS.Close()
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, schedule []byte) {
+		if len(schedule) > 8 {
+			schedule = schedule[:8] // keep reconnect storms bounded
+		}
+		local, err := hiddendb.NewLocal(ds.Schema, ds.Tuples, k, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := httpserver.New(local, httpserver.WithSessions(session.Config{}))
+		// Translate the schedule into byte cut points lazily: a connection's
+		// allowance is fraction/255 of however much it would have streamed.
+		cuts := make([]int, len(schedule))
+		for i, frac := range schedule {
+			if frac == 255 {
+				cuts[i] = -1 // undisturbed
+			} else {
+				cuts[i] = int(frac) * 40 // 0..~10KB into the stream
+			}
+		}
+		front := &cuttingFront{inner: h, cuts: cuts}
+		ts := httptest.NewServer(front)
+		defer ts.Close()
+
+		clock := hiddendb.NewSimClock()
+		c, err := DialRetry(context.Background(), ts.URL, "tok", nil, RetryPolicy{
+			MaxAttempts: len(schedule) + 2, // the schedule can never outlast the policy
+			Clock:       clock,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Crawl(context.Background(), "", 0, nil)
+		if err != nil {
+			t.Fatalf("schedule %v: crawl failed: %v", schedule, err)
+		}
+		if !res.Tuples.EqualMultiset(ref.Tuples) {
+			t.Fatalf("schedule %v: stitched bag has %d tuples, reference %d (duplicate or lost tuples)", schedule, len(res.Tuples), len(ref.Tuples))
+		}
+		if res.Queries != ref.Queries {
+			t.Fatalf("schedule %v: paid %d queries, fault-free reference %d", schedule, res.Queries, ref.Queries)
+		}
+		if got := h.Sessions().TotalQueries(); got != ref.Queries {
+			t.Fatalf("schedule %v: server-side paid count %d, want %d", schedule, got, ref.Queries)
 		}
 	})
 }

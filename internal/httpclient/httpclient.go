@@ -46,6 +46,10 @@ type Client struct {
 	http   *http.Client
 	schema *dataspace.Schema
 	k      int
+	// retry, when non-nil, makes every round trip fault-tolerant (see
+	// DialRetry and retry.go) and lets Crawl/CrawlSeq resume severed
+	// streams.
+	retry *retrier
 	// legacyBatch records a 404 from /batch so a pre-batching server pays
 	// the probe round trip once, not once per batch.
 	legacyBatch atomic.Bool
@@ -64,11 +68,29 @@ func Dial(ctx context.Context, baseURL string, httpClient *http.Client) (*Client
 // resolves it to this client's own quota, journal and counters. An empty
 // token shares the server's anonymous session.
 func DialToken(ctx context.Context, baseURL, token string, httpClient *http.Client) (*Client, error) {
+	return dial(ctx, baseURL, token, httpClient, nil)
+}
+
+// DialRetry is DialToken over a fault-tolerant transport: transient
+// failures — refused or reset connections, timeouts, 5xx responses,
+// overload shedding (503 + Retry-After) — are retried per the policy with
+// exponential backoff and seeded jitter, and a severed /crawl stream is
+// resumed via the skip cursor instead of failing the extraction. Retrying
+// never costs extra queries against a session-mode server: a request the
+// server already served is replayed free from the session journal, one it
+// never saw is paid once on the attempt that lands. A round trip that
+// stays down past the policy's attempts (or the client-wide retry budget)
+// fails with a *TransportError wrapping the last attempt's error.
+func DialRetry(ctx context.Context, baseURL, token string, httpClient *http.Client, policy RetryPolicy) (*Client, error) {
+	return dial(ctx, baseURL, token, httpClient, newRetrier(policy))
+}
+
+func dial(ctx context.Context, baseURL, token string, httpClient *http.Client, retry *retrier) (*Client, error) {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	c := &Client{base: baseURL, token: token, http: httpClient}
-	resp, err := c.do(ctx, http.MethodGet, "/schema", nil)
+	c := &Client{base: baseURL, token: token, http: httpClient, retry: retry}
+	resp, err := c.doRetry(ctx, "schema", http.MethodGet, "/schema", nil)
 	if err != nil {
 		return nil, fmt.Errorf("httpclient: fetching schema: %w", err)
 	}
@@ -109,6 +131,17 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (*htt
 	return c.http.Do(req)
 }
 
+// doRetry is do under the client's retry policy (a plain do when no policy
+// is configured). op names the call in *TransportError reports.
+func (c *Client) doRetry(ctx context.Context, op, method, path string, body []byte) (*http.Response, error) {
+	if c.retry == nil {
+		return c.do(ctx, method, path, body)
+	}
+	return c.retry.do(ctx, op, func(actx context.Context) (*http.Response, error) {
+		return c.do(actx, method, path, body)
+	})
+}
+
 // ctxErr surfaces a cancellation hidden inside a transport error as the
 // bare ctx error, so callers (and budget accounting) see the typed signal
 // rather than a wrapped *url.Error. The classification is hiddendb's —
@@ -127,7 +160,7 @@ func (c *Client) Answer(ctx context.Context, q dataspace.Query) (hiddendb.Result
 	if err != nil {
 		return hiddendb.Result{}, fmt.Errorf("httpclient: encoding query: %w", err)
 	}
-	resp, err := c.do(ctx, http.MethodPost, "/query", body)
+	resp, err := c.doRetry(ctx, "query", http.MethodPost, "/query", body)
 	if err != nil {
 		return hiddendb.Result{}, ctxErr(ctx, fmt.Errorf("httpclient: query round-trip: %w", err))
 	}
@@ -165,7 +198,7 @@ func (c *Client) AnswerBatch(ctx context.Context, qs []dataspace.Query) ([]hidde
 	if err != nil {
 		return nil, fmt.Errorf("httpclient: encoding batch: %w", err)
 	}
-	resp, err := c.do(ctx, http.MethodPost, "/batch", body)
+	resp, err := c.doRetry(ctx, "batch", http.MethodPost, "/batch", body)
 	if err != nil {
 		return nil, ctxErr(ctx, fmt.Errorf("httpclient: batch round-trip: %w", err))
 	}
@@ -249,9 +282,9 @@ func crawlStream(schema *dataspace.Schema, r io.Reader, onEvent func(wire.CrawlE
 		var ev wire.CrawlEvent
 		if err := dec.Decode(&ev); err != nil {
 			if errors.Is(err, io.EOF) {
-				return out, false, errors.New("httpclient: crawl stream ended without a terminal event (truncated?)")
+				return out, false, fmt.Errorf("httpclient: crawl stream ended without a terminal event (truncated?): %w", errStreamSevered)
 			}
-			return out, false, fmt.Errorf("httpclient: decoding crawl stream: %w", err)
+			return out, false, fmt.Errorf("httpclient: decoding crawl stream: %w: %w", err, errStreamSevered)
 		}
 		if onEvent != nil {
 			onEvent(ev)
@@ -284,6 +317,19 @@ func crawlStream(schema *dataspace.Schema, r io.Reader, onEvent func(wire.CrawlE
 	}
 }
 
+// errStreamSevered marks a /crawl stream that died mid-flight — truncated
+// or garbled by the transport rather than ended by the server's terminal
+// event. A retry-enabled client resumes such a stream with the skip
+// cursor; everything else (quota, server-reported failure, cancellation)
+// is terminal.
+var errStreamSevered = errors.New("stream severed")
+
+// resumable reports whether a crawl-stream failure should be retried by
+// reconnecting with the resume cursor.
+func (c *Client) resumable(ctx context.Context, err error) bool {
+	return c.retry != nil && ctx.Err() == nil && errors.Is(err, errStreamSevered)
+}
+
 // Crawl asks the server to run the named crawling algorithm against this
 // client's session and consumes the NDJSON progress stream — the whole
 // extraction for one HTTP round trip. An empty algorithm selects the
@@ -293,6 +339,13 @@ func crawlStream(schema *dataspace.Schema, r io.Reader, onEvent func(wire.CrawlE
 // prefix instead of re-sending it. onEvent, when non-nil, observes every
 // stream line (tuple progress and the terminal summary) as it arrives.
 //
+// A retry-enabled client (DialRetry) rides out a severed stream: the
+// connection is reopened with the cursor advanced past every tuple
+// already received, so nothing is delivered twice and — the queries
+// already answered being journaled server-side — nothing is paid twice.
+// Only consecutive reconnects that deliver no progress count against the
+// policy's attempts.
+//
 // A crawl the server could not finish returns the tuples streamed so far
 // plus an error — hiddendb.ErrQuotaExceeded when the session's budget ran
 // dry, in which case re-calling Crawl after the budget window resets
@@ -300,23 +353,47 @@ func crawlStream(schema *dataspace.Schema, r io.Reader, onEvent func(wire.CrawlE
 // down the stream; the server cancels this session's crawl and journals
 // everything already paid.
 func (c *Client) Crawl(ctx context.Context, algorithm string, skip int, onEvent func(wire.CrawlEvent)) (*CrawlResult, error) {
-	resp, err := c.openCrawl(ctx, algorithm, skip)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-
 	out := &CrawlResult{}
-	res, _, err := crawlStream(c.schema, resp.Body, onEvent, func(t dataspace.Tuple) bool {
-		out.Tuples = append(out.Tuples, t)
-		return true
-	})
-	res.Tuples = out.Tuples
-	*out = res
-	if err != nil {
-		return out, ctxErr(ctx, err)
+	received := 0 // tuples delivered to out across all connections
+	failures := 0 // consecutive reconnects with no progress
+	for {
+		resp, err := c.openCrawl(ctx, algorithm, skip+received)
+		if err != nil {
+			if received == 0 {
+				return nil, err
+			}
+			return out, err
+		}
+		progressed := false
+		res, _, err := crawlStream(c.schema, resp.Body, onEvent, func(t dataspace.Tuple) bool {
+			out.Tuples = append(out.Tuples, t)
+			received++
+			progressed = true
+			return true
+		})
+		resp.Body.Close()
+		res.Tuples = out.Tuples
+		*out = res
+		if err == nil {
+			return out, nil
+		}
+		if !c.resumable(ctx, err) {
+			return out, ctxErr(ctx, err)
+		}
+		if progressed {
+			failures = 0
+		}
+		failures++
+		if failures >= c.retry.policy.MaxAttempts {
+			return out, &TransportError{Op: "crawl", Attempts: failures, Err: err}
+		}
+		if !c.retry.spend() {
+			return out, &TransportError{Op: "crawl", Attempts: failures, Err: fmt.Errorf("retry budget exhausted: %w", err)}
+		}
+		if serr := c.retry.sleep(ctx, c.retry.backoff(failures, 0)); serr != nil {
+			return out, serr
+		}
 	}
-	return out, nil
 }
 
 // openCrawl POSTs the /crawl request and verifies the stream started,
@@ -326,7 +403,7 @@ func (c *Client) openCrawl(ctx context.Context, algorithm string, skip int) (*ht
 	if err != nil {
 		return nil, fmt.Errorf("httpclient: encoding crawl request: %w", err)
 	}
-	resp, err := c.do(ctx, http.MethodPost, "/crawl", body)
+	resp, err := c.doRetry(ctx, "crawl", http.MethodPost, "/crawl", body)
 	if err != nil {
 		return nil, ctxErr(ctx, fmt.Errorf("httpclient: crawl round-trip: %w", err))
 	}
@@ -351,8 +428,11 @@ func (c *Client) openCrawl(ctx context.Context, algorithm string, skip int) (*ht
 // range loop cancels the request — the server aborts this session's crawl
 // and journals the queries already paid, so a later CrawlSeq with the
 // count of tuples received as skip finishes the extraction without paying
-// for or re-receiving anything already delivered. A crawl that fails
-// yields one final (nil, error) pair: a *core.PartialError wrapping
+// for or re-receiving anything already delivered. A retry-enabled client
+// (DialRetry) absorbs severed streams transparently: the iterator
+// reconnects with the cursor advanced past the tuples already yielded, so
+// the consumer never sees a duplicate. A crawl that fails yields one
+// final (nil, error) pair: a *core.PartialError wrapping
 // hiddendb.ErrQuotaExceeded (resumable after the budget window) or the
 // transport/server failure, with the paid query count attached.
 func (c *Client) CrawlSeq(ctx context.Context, algorithm string, skip int) iter.Seq2[dataspace.Tuple, error] {
@@ -362,20 +442,46 @@ func (c *Client) CrawlSeq(ctx context.Context, algorithm string, skip int) iter.
 		}
 		cctx, cancel := context.WithCancel(ctx)
 		defer cancel()
-		resp, err := c.openCrawl(cctx, algorithm, skip)
-		if err != nil {
-			fail(0, err)
-			return
-		}
-		defer resp.Body.Close()
-
-		res, _, err := crawlStream(c.schema, resp.Body, nil, func(t dataspace.Tuple) bool {
-			return yield(t, nil)
-			// A false yield stops the stream; defer cancel() then aborts
-			// it server-side.
-		})
-		if err != nil {
-			fail(res.Queries, ctxErr(ctx, err))
+		received := 0 // tuples yielded across all connections
+		failures := 0 // consecutive reconnects with no progress
+		for {
+			resp, err := c.openCrawl(cctx, algorithm, skip+received)
+			if err != nil {
+				fail(0, err)
+				return
+			}
+			progressed := false
+			res, stopped, err := crawlStream(c.schema, resp.Body, nil, func(t dataspace.Tuple) bool {
+				received++
+				progressed = true
+				return yield(t, nil)
+				// A false yield stops the stream; defer cancel() then
+				// aborts it server-side.
+			})
+			resp.Body.Close()
+			if err == nil || stopped {
+				return
+			}
+			if !c.resumable(cctx, err) {
+				fail(res.Queries, ctxErr(ctx, err))
+				return
+			}
+			if progressed {
+				failures = 0
+			}
+			failures++
+			if failures >= c.retry.policy.MaxAttempts {
+				fail(res.Queries, &TransportError{Op: "crawl", Attempts: failures, Err: err})
+				return
+			}
+			if !c.retry.spend() {
+				fail(res.Queries, &TransportError{Op: "crawl", Attempts: failures, Err: fmt.Errorf("retry budget exhausted: %w", err)})
+				return
+			}
+			if serr := c.retry.sleep(cctx, c.retry.backoff(failures, 0)); serr != nil {
+				fail(res.Queries, serr)
+				return
+			}
 		}
 	}
 }

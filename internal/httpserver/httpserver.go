@@ -76,10 +76,10 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 
 	"hidb/internal/core"
 	"hidb/internal/dataspace"
@@ -93,8 +93,19 @@ type Handler struct {
 	srv hiddendb.Server
 	// table holds the per-token sessions; nil in legacy single-quota mode.
 	table *session.Table
+	// maxInFlight, when positive, sheds query-carrying requests beyond
+	// this concurrency with 503 + Retry-After (see WithShedding).
+	maxInFlight int
+	// shedding also turns away new tokens when the session table is full,
+	// instead of evicting an established client's session.
+	shedding bool
+	// draining flips when Drain is called: every new query-carrying
+	// request is shed so in-flight ones can finish before Shutdown.
+	draining atomic.Bool
 
 	mu sync.Mutex
+	// inFlight counts the query-carrying requests currently being served.
+	inFlight int
 	// queries counts the form queries served on the legacy (sessionless)
 	// paths; with sessions, per-token counts live in the table and
 	// Queries() aggregates both.
@@ -123,6 +134,22 @@ func WithQuota(n int) Option {
 // (quota, memo, journal — see the session package and the package doc).
 func WithSessions(cfg session.Config) Option {
 	return func(h *Handler) { h.table = session.NewTable(h.srv, cfg) }
+}
+
+// WithShedding bounds the query-carrying requests (/query, /batch,
+// /crawl) served concurrently: beyond maxInFlight the handler answers
+// 503 with a Retry-After hint instead of queueing unboundedly — an
+// overloaded real site does the same, and a retry-enabled client backs
+// off and tries again for free. In session mode it also turns away
+// tokens it has never seen while the session table is full, protecting
+// established clients' sessions (and their journals) from eviction
+// churn. maxInFlight <= 0 keeps requests unbounded but still enables
+// the table-full protection.
+func WithShedding(maxInFlight int) Option {
+	return func(h *Handler) {
+		h.maxInFlight = maxInFlight
+		h.shedding = true
+	}
 }
 
 // New builds a handler over the given server. Combining WithQuota and
@@ -163,11 +190,62 @@ func (h *Handler) Requests() int {
 // Sessions exposes the per-token session table, nil in legacy mode.
 func (h *Handler) Sessions() *session.Table { return h.table }
 
+// Drain puts the handler into drain mode: every new query-carrying
+// request is shed with 503 + Retry-After while requests already in
+// flight run to completion, and /healthz reports not-ready so load
+// balancers stop routing here. Call it before http.Server.Shutdown for
+// a clean, bounded handover; draining is one-way.
+func (h *Handler) Drain() { h.draining.Store(true) }
+
+// Draining reports whether Drain has been called.
+func (h *Handler) Draining() bool { return h.draining.Load() }
+
+// InFlight returns the query-carrying requests currently being served.
+func (h *Handler) InFlight() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.inFlight
+}
+
 // noteRequest counts one query-carrying round trip.
 func (h *Handler) noteRequest() {
 	h.mu.Lock()
 	h.requests++
 	h.mu.Unlock()
+}
+
+// shed rejects a request the server cannot take on right now. 503 with
+// Retry-After is the transient-overload signal: a retrying client backs
+// off at least that long and loses nothing — the queries it will re-ask
+// were either never served (paid once, later) or journaled (replayed
+// free).
+func shed(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, msg, http.StatusServiceUnavailable)
+}
+
+// admit gates one query-carrying request through the overload controls:
+// a draining handler sheds everything new, and with WithShedding the
+// in-flight depth is bounded. On admission the returned release must be
+// deferred; ok=false means the 503 is already written.
+func (h *Handler) admit(w http.ResponseWriter) (release func(), ok bool) {
+	if h.draining.Load() {
+		shed(w, "server is draining")
+		return nil, false
+	}
+	h.mu.Lock()
+	if h.maxInFlight > 0 && h.inFlight >= h.maxInFlight {
+		h.mu.Unlock()
+		shed(w, "server is at capacity")
+		return nil, false
+	}
+	h.inFlight++
+	h.mu.Unlock()
+	return func() {
+		h.mu.Lock()
+		h.inFlight--
+		h.mu.Unlock()
+	}, true
 }
 
 // ServeHTTP implements http.Handler.
@@ -184,11 +262,40 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case r.URL.Path == "/stats" && r.Method == http.MethodGet:
 		h.handleStats(w)
 	case r.URL.Path == "/healthz" && r.Method == http.MethodGet:
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
+		h.handleHealthz(w)
 	default:
 		http.Error(w, "not found", http.StatusNotFound)
 	}
+}
+
+// handleHealthz reports liveness and readiness. The process serving the
+// response is by definition live; readiness flips off when the handler
+// is draining, with the 503 status carrying the same signal to probes
+// that only read status codes.
+func (h *Handler) handleHealthz(w http.ResponseWriter) {
+	h.mu.Lock()
+	inFlight := h.inFlight
+	h.mu.Unlock()
+	status := struct {
+		Live     bool `json:"live"`
+		Ready    bool `json:"ready"`
+		Draining bool `json:"draining"`
+		InFlight int  `json:"inFlight"`
+		Sessions int  `json:"sessions,omitempty"`
+	}{
+		Live:     true,
+		Ready:    !h.draining.Load(),
+		Draining: h.draining.Load(),
+		InFlight: inFlight,
+	}
+	if h.table != nil {
+		status.Sessions = h.table.Len()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !status.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(status)
 }
 
 func (h *Handler) handleSchema(w http.ResponseWriter) {
@@ -203,6 +310,13 @@ func (h *Handler) resolveSession(w http.ResponseWriter, r *http.Request, bodyTok
 	if token == "" {
 		token = bodyToken
 	}
+	// A shedding server at its session cap turns new tokens away rather
+	// than evicting an established client's session (and journal) to make
+	// room — churn would silently cost evicted clients their replay state.
+	if h.shedding && h.table.Full() && !h.table.Has(token) {
+		shed(w, "session table full")
+		return nil, false
+	}
 	sess, err := h.table.Get(token)
 	if err != nil {
 		http.Error(w, "session error: "+err.Error(), http.StatusInternalServerError)
@@ -212,6 +326,11 @@ func (h *Handler) resolveSession(w http.ResponseWriter, r *http.Request, bodyTok
 }
 
 func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
+	release, ok := h.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
 	var msg wire.QueryMsg
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err := dec.Decode(&msg); err != nil {
@@ -276,6 +395,11 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 // failure) reports the answered prefix — which was paid for and must not
 // be discarded — plus the quotaExceeded flag or the error, respectively.
 func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
+	release, ok := h.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
 	var msg wire.BatchRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
 	if err := dec.Decode(&msg); err != nil {
@@ -375,6 +499,11 @@ func (h *Handler) writeBatch(w http.ResponseWriter, qs []dataspace.Query, res []
 // their own contexts). CrawlRequest.Skip suppresses the stream's first
 // Skip tuples for reconnecting clients. See the package doc.
 func (h *Handler) handleCrawl(w http.ResponseWriter, r *http.Request) {
+	release, ok := h.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
 	var msg wire.CrawlRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err := dec.Decode(&msg); err != nil && !errors.Is(err, io.EOF) {

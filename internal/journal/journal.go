@@ -7,9 +7,13 @@
 // in front of the server fast-forwards for free through everything already
 // paid for and continues issuing only new queries.
 //
-// The journal serializes as JSON lines (a header with the schema and k,
-// then one entry per query), so a crawl interrupted by hiddendb.
-// ErrQuotaExceeded can persist its state to disk and resume days later.
+// The journal serializes in a crash-safe checksummed framing (see
+// framed.go): per-record CRC32 with a length-prefixed trailer, so a crawl
+// interrupted by hiddendb.ErrQuotaExceeded — or by a crash mid-write — can
+// persist its state to disk and resume days later; a torn or corrupted
+// file recovers its longest valid prefix instead of losing the session.
+// SaveFile/LoadFile are the canonical write-temp-fsync-rename persistence
+// helpers. Legacy JSON-lines journals are still readable.
 package journal
 
 import (
@@ -94,38 +98,39 @@ type headerMsg struct {
 	Entries int `json:"entries"`
 }
 
-// WriteTo serializes the journal as JSON lines. It implements
-// io.WriterTo.
+// WriteTo serializes the journal in the checksummed v2 format (see
+// framed.go): length-prefixed records with per-record CRC32 and a trailer
+// carrying the entry count, so a torn or bit-flipped file is recoverable
+// to its longest valid prefix. It implements io.WriterTo.
 func (j *Journal) WriteTo(w io.Writer) (int64, error) {
 	j.mu.RLock()
 	defer j.mu.RUnlock()
-	bw := &countingWriter{w: w}
-	enc := json.NewEncoder(bw)
-	if err := enc.Encode(headerMsg{
-		Schema:  wire.EncodeSchema(j.schema, j.k),
-		Entries: len(j.order),
-	}); err != nil {
-		return bw.n, err
-	}
-	for _, key := range j.order {
-		res := j.entries[key]
-		q, err := queryFromKey(j.schema, key)
-		if err != nil {
-			return bw.n, err
-		}
-		if err := enc.Encode(entryMsg{
-			Query:  wire.EncodeQuery(q),
-			Result: wire.EncodeResult(res),
-		}); err != nil {
-			return bw.n, err
-		}
-	}
-	return bw.n, nil
+	return j.writeToV2(w)
 }
 
-// ReadFrom deserializes a journal written by WriteTo.
+// ReadFrom deserializes a journal written by WriteTo — the checksummed v2
+// format, or the legacy JSON-lines format of older files. A damaged file
+// does not fail wholesale: the longest valid prefix is recovered and
+// returned alongside a *CorruptionError describing the tear (errors.As to
+// detect it; the journal is safe to use, only the damaged tail's queries
+// must be re-paid). The journal is nil only when not even the header
+// survived.
 func ReadFrom(r io.Reader) (*Journal, error) {
-	dec := json.NewDecoder(bufio.NewReader(r))
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(len(magicV2))
+	if err == nil && string(magic) == magicV2 {
+		br.Discard(len(magicV2))
+		return readFromV2(br, int64(len(magicV2)))
+	}
+	return readFromLegacy(br)
+}
+
+// readFromLegacy decodes the pre-checksum JSON-lines format: a header with
+// the schema and promised entry count, then one entry per line. Truncation
+// mid-entries recovers the valid prefix with a *CorruptionError, matching
+// the v2 reader's contract.
+func readFromLegacy(r io.Reader) (*Journal, error) {
+	dec := json.NewDecoder(r)
 	var hdr headerMsg
 	if err := dec.Decode(&hdr); err != nil {
 		return nil, fmt.Errorf("journal: reading header: %w", err)
@@ -138,15 +143,15 @@ func ReadFrom(r io.Reader) (*Journal, error) {
 	for i := 0; i < hdr.Entries; i++ {
 		var e entryMsg
 		if err := dec.Decode(&e); err != nil {
-			return nil, fmt.Errorf("journal: entry %d of %d: %w (truncated journal?)", i, hdr.Entries, err)
+			return j, &CorruptionError{Entries: j.Len(), Offset: dec.InputOffset(), Reason: fmt.Errorf("entry %d of %d: %w (truncated journal)", i, hdr.Entries, err)}
 		}
 		q, err := wire.DecodeQuery(schema, e.Query)
 		if err != nil {
-			return nil, fmt.Errorf("journal: entry %d query: %w", i, err)
+			return j, &CorruptionError{Entries: j.Len(), Offset: dec.InputOffset(), Reason: fmt.Errorf("entry %d query: %w", i, err)}
 		}
 		res, err := wire.DecodeResult(schema, e.Result)
 		if err != nil {
-			return nil, fmt.Errorf("journal: entry %d result: %w", i, err)
+			return j, &CorruptionError{Entries: j.Len(), Offset: dec.InputOffset(), Reason: fmt.Errorf("entry %d result: %w", i, err)}
 		}
 		j.Record(q, res)
 	}
@@ -245,8 +250,9 @@ type Server struct {
 	inner   hiddendb.Server
 	journal *Journal
 
-	mu      sync.Mutex
-	replays int
+	mu       sync.Mutex
+	replays  int
+	inflight map[string]chan struct{}
 }
 
 // Wrap builds the journaling view. The journal's schema and k must match
@@ -258,24 +264,52 @@ func Wrap(inner hiddendb.Server, j *Journal) (*Server, error) {
 	if j.Schema().String() != inner.Schema().String() {
 		return nil, fmt.Errorf("journal: schema mismatch: %s vs %s", j.Schema(), inner.Schema())
 	}
-	return &Server{inner: inner, journal: j}, nil
+	return &Server{inner: inner, journal: j, inflight: make(map[string]chan struct{})}, nil
 }
 
 // Answer implements hiddendb.Server. Replays are free and ignore ctx —
 // they touch no remote resource — while forwarded queries honour it.
+//
+// Concurrent misses on the same query are single-flighted: only one caller
+// pays the inner server, the rest wait and replay the recorded answer.
+// Without this, a client that reconnects while its previous (severed)
+// crawl is still winding down server-side could race it to the same
+// journal miss and be charged twice for one logical query.
 func (s *Server) Answer(ctx context.Context, q dataspace.Query) (hiddendb.Result, error) {
-	if res, ok := s.journal.Lookup(q); ok {
+	key := q.Key()
+	for {
+		if res, ok := s.journal.Lookup(q); ok {
+			s.mu.Lock()
+			s.replays++
+			s.mu.Unlock()
+			return res, nil
+		}
 		s.mu.Lock()
-		s.replays++
+		if done, ok := s.inflight[key]; ok {
+			// Another caller is paying for this query right now; wait for
+			// its verdict and re-check the journal.
+			s.mu.Unlock()
+			select {
+			case <-done:
+				continue
+			case <-ctx.Done():
+				return hiddendb.Result{}, ctx.Err()
+			}
+		}
+		done := make(chan struct{})
+		s.inflight[key] = done
 		s.mu.Unlock()
-		return res, nil
-	}
-	res, err := s.inner.Answer(ctx, q)
-	if err != nil {
+
+		res, err := s.inner.Answer(ctx, q)
+		if err == nil {
+			s.journal.Record(q, res)
+		}
+		s.mu.Lock()
+		delete(s.inflight, key)
+		s.mu.Unlock()
+		close(done)
 		return res, err
 	}
-	s.journal.Record(q, res)
-	return res, nil
 }
 
 // AnswerBatch implements hiddendb.Server with the sequential contract:

@@ -1,0 +1,128 @@
+package journal
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hidb/internal/dataspace"
+	"hidb/internal/hiddendb"
+)
+
+// blockingInner is a hidden-database stand-in whose Answer parks on a gate,
+// so a test can hold two callers inside the miss window at once.
+type blockingInner struct {
+	schema  *dataspace.Schema
+	gate    chan struct{}
+	arrived chan struct{}
+	calls   atomic.Int32
+}
+
+func (b *blockingInner) Answer(ctx context.Context, q dataspace.Query) (hiddendb.Result, error) {
+	b.calls.Add(1)
+	b.arrived <- struct{}{}
+	select {
+	case <-b.gate:
+	case <-ctx.Done():
+		return hiddendb.Result{}, ctx.Err()
+	}
+	return hiddendb.Result{}, nil
+}
+
+func (b *blockingInner) AnswerBatch(ctx context.Context, qs []dataspace.Query) ([]hiddendb.Result, error) {
+	out := make([]hiddendb.Result, 0, len(qs))
+	for _, q := range qs {
+		res, err := b.Answer(ctx, q)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func (b *blockingInner) K() int                    { return 4 }
+func (b *blockingInner) Schema() *dataspace.Schema { return b.schema }
+
+// Two concurrent misses on the same query must charge the inner server
+// once: the second caller waits for the first's answer and replays it.
+// This is the reconnect-races-zombie-crawl scenario — the retrying client
+// opens a new crawl while the severed one is still winding down.
+func TestAnswerSingleFlight(t *testing.T) {
+	schema := dataspace.MustSchema([]dataspace.Attribute{
+		{Name: "C", Kind: dataspace.Categorical, DomainSize: 3},
+	})
+	inner := &blockingInner{schema: schema, gate: make(chan struct{}), arrived: make(chan struct{}, 2)}
+	srv, err := Wrap(inner, New(schema, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := dataspace.UniverseQuery(schema)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := srv.Answer(context.Background(), q); err != nil {
+				t.Errorf("Answer: %v", err)
+			}
+		}()
+	}
+	// One caller reaches the inner server and parks; give the other caller
+	// time to reach the same miss, then open the gate.
+	<-inner.arrived
+	time.Sleep(10 * time.Millisecond)
+	close(inner.gate)
+	wg.Wait()
+
+	if got := inner.calls.Load(); got != 1 {
+		t.Fatalf("inner server charged %d times for one query, want 1", got)
+	}
+	if srv.Replays() != 1 {
+		t.Fatalf("replays = %d, want 1 (the waiter must replay the winner's answer)", srv.Replays())
+	}
+}
+
+// A waiter whose ctx dies while the winner is still in flight gets the ctx
+// error, not a second paid query.
+func TestSingleFlightWaiterHonoursContext(t *testing.T) {
+	schema := dataspace.MustSchema([]dataspace.Attribute{
+		{Name: "C", Kind: dataspace.Categorical, DomainSize: 3},
+	})
+	inner := &blockingInner{schema: schema, gate: make(chan struct{}), arrived: make(chan struct{}, 2)}
+	srv, err := Wrap(inner, New(schema, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := dataspace.UniverseQuery(schema)
+
+	winnerDone := make(chan error, 1)
+	go func() {
+		_, err := srv.Answer(context.Background(), q)
+		winnerDone <- err
+	}()
+	<-inner.arrived
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, err := srv.Answer(ctx, q)
+		waiterDone <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-waiterDone; err != context.Canceled {
+		t.Fatalf("cancelled waiter returned %v, want context.Canceled", err)
+	}
+
+	close(inner.gate)
+	if err := <-winnerDone; err != nil {
+		t.Fatalf("winner failed: %v", err)
+	}
+	if got := inner.calls.Load(); got != 1 {
+		t.Fatalf("inner server charged %d times, want 1", got)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"hidb/internal/core"
 	"hidb/internal/dataspace"
 	"hidb/internal/hiddendb"
+	"hidb/internal/httpclient"
 )
 
 // batcher is the concurrent counterpart of core's session plumbing: a
@@ -313,13 +314,17 @@ func (b *batcher) issue(batch []flightReq) {
 			// queries instead of dropping the signal.
 			b.deferred = err
 			err = nil
-		} else if errors.Is(err, hiddendb.ErrQuotaExceeded) || hiddendb.Cancelled(err) {
-			// The budget died mid-batch, or the crawl was cancelled:
-			// this batch's unanswered queries fail below with the error,
-			// and every later distinct query is doomed too — budgets
-			// never come back within a crawl, and a cancelled ctx stays
-			// cancelled. Latch the error so they fail fast instead of
-			// each paying a pointless round trip.
+		} else if errors.Is(err, hiddendb.ErrQuotaExceeded) || hiddendb.Cancelled(err) || isTransportExhausted(err) {
+			// The budget died mid-batch, the crawl was cancelled, or the
+			// retrying transport gave up after its full attempt/budget
+			// allowance: this batch's unanswered queries fail below with
+			// the error, and every later distinct query is doomed too —
+			// budgets never come back within a crawl, a cancelled ctx
+			// stays cancelled, and a connection that outlived every
+			// retry won't heal for the very next round trip. Latch the
+			// error so they fail fast instead of each paying a pointless
+			// round trip (for exhausted retries, a pointless full retry
+			// cycle).
 			b.deferred = err
 		}
 	}
@@ -378,4 +383,12 @@ func (b *batcher) stats() (queries, resolved, overflowed, skipped int, curve []c
 		b.curve[len(b.curve)-1].Tuples = b.tuples
 	}
 	return b.queries, b.resolve, b.overfl, b.skipped, b.curve
+}
+
+// isTransportExhausted reports whether err is a terminal transport failure:
+// the retrying HTTP client already spent every attempt (or its retry
+// budget) before surfacing it, so an immediate re-issue cannot succeed.
+func isTransportExhausted(err error) bool {
+	var te *httpclient.TransportError
+	return errors.As(err, &te)
 }

@@ -40,7 +40,6 @@ import (
 	"fmt"
 	"io/fs"
 	"math"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -181,6 +180,9 @@ type Table struct {
 	// happen inside unrelated Gets and cannot surface an error to that
 	// caller).
 	persistErr error
+	// recovered counts journals reloaded from a torn/corrupted file via
+	// longest-valid-prefix recovery.
+	recovered int
 
 	// now is the table's clock, swappable in tests.
 	now func() time.Time
@@ -356,6 +358,25 @@ func (t *Table) Len() int {
 	return t.lru.Len()
 }
 
+// Has reports whether the token currently owns a live session, without
+// creating one or refreshing its TTL.
+func (t *Table) Has(token string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.sessions[token]
+	return ok
+}
+
+// Full reports whether the table is at its live-session cap, i.e. whether
+// admitting a new token would evict the least recently used session. A
+// load-shedding server checks this to turn away new clients instead of
+// churning established ones.
+func (t *Table) Full() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lru.Len() >= t.cfg.MaxSessions
+}
+
 // Evicted returns how many sessions have been evicted so far.
 func (t *Table) Evicted() int {
 	t.mu.Lock()
@@ -385,6 +406,15 @@ func (t *Table) Stats() []Stats {
 	t.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Token < out[j].Token })
 	return out
+}
+
+// RecoveredJournals returns how many sessions were reloaded from a
+// damaged journal file via longest-valid-prefix recovery (the damaged
+// originals are quarantined next to the journal directory's files).
+func (t *Table) RecoveredJournals() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.recovered
 }
 
 // PersistErr returns the last journal-persistence failure observed during
@@ -421,54 +451,42 @@ func (t *Table) journalPath(token string) string {
 }
 
 // loadJournal reloads the token's persisted journal, or returns nil when
-// persistence is off or no journal exists. A journal recorded against a
-// different schema or return limit is an operator error and is reported,
-// not silently discarded.
+// persistence is off or no journal exists. A torn or corrupted file — a
+// crash mid-persist, a flipped bit — never fails the session: the longest
+// valid prefix is recovered (journal.LoadFile quarantines the damaged
+// original as <path>.corrupt), the recovery is counted in
+// RecoveredJournals, and only the damaged tail's queries are re-paid. A
+// journal recorded against a different schema or return limit is an
+// operator error and is reported, not silently discarded.
 func (t *Table) loadJournal(token string) (*journal.Journal, error) {
 	if t.cfg.JournalDir == "" {
 		return nil, nil
 	}
-	f, err := os.Open(t.journalPath(token))
+	jnl, err := journal.LoadFile(t.journalPath(token))
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, nil
 	}
-	if err != nil {
-		return nil, fmt.Errorf("session: token %q: %w", token, err)
+	var ce *journal.CorruptionError
+	if errors.As(err, &ce) {
+		t.mu.Lock()
+		t.recovered++
+		t.mu.Unlock()
+		return jnl, nil // jnl is the recovered prefix; nil means start fresh
 	}
-	defer f.Close()
-	jnl, err := journal.ReadFrom(f)
 	if err != nil {
 		return nil, fmt.Errorf("session: token %q journal: %w", token, err)
 	}
 	return jnl, nil
 }
 
-// persistJournal atomically writes the session's journal next to its final
-// path. Empty journals are skipped — nothing to resume.
+// persistJournal crash-safely writes the session's journal next to its
+// final path (write temp, fsync, rename — see journal.SaveFile). Empty
+// journals are skipped — nothing to resume.
 func (t *Table) persistJournal(sess *Session) error {
 	if t.cfg.JournalDir == "" || sess.journal.Len() == 0 {
 		return nil
 	}
-	if err := os.MkdirAll(t.cfg.JournalDir, 0o755); err != nil {
-		return fmt.Errorf("session: journal dir: %w", err)
-	}
-	path := t.journalPath(sess.token)
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("session: persisting %q: %w", sess.token, err)
-	}
-	if _, err := sess.journal.WriteTo(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("session: persisting %q: %w", sess.token, err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("session: persisting %q: %w", sess.token, err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := journal.SaveFile(t.journalPath(sess.token), sess.journal); err != nil {
 		return fmt.Errorf("session: persisting %q: %w", sess.token, err)
 	}
 	return nil
