@@ -67,6 +67,25 @@
 // into priority-range shards that answer batches in parallel, each with
 // its own scratch memory.
 //
+// # The engine
+//
+// Behind every local server sits a read-only columnar store with four access
+// paths: a chunked full scan with early exit, sorted per-value posting lists
+// (merged pairwise, or galloped when one list is far shorter), binary-search
+// rank ranges for numeric predicates, and — for low-cardinality categorical
+// attributes — compressed per-value bitmap indexes over the priority ranks,
+// so a multi-attribute equality conjunction is answered by a word-parallel
+// AND instead of a posting-list walk. The planner chooses among them with a
+// cost model fed by selectivities measured on a sample of the actual data at
+// construction (not assumed from domain sizes), and memoizes the chosen plan
+// per query shape — the attribute/predicate-kind pattern, not the constants —
+// in a lock-free cache, so a crawl that issues thousands of structurally
+// identical queries plans once and executes thereafter. All paths return
+// bit-identical answers; planning changes speed, never responses, so the
+// paper's query counts are untouched. LocalServer.PlanStats exposes the
+// planner's counters (cached shapes, hit rate, per-path execution counts),
+// and a session server reports them on GET /stats.
+//
 // # Simulation and fault injection
 //
 // Two deterministic test harnesses ship with the library. NewSimClock /
@@ -118,6 +137,7 @@ import (
 	"hidb/internal/hiddendb"
 	"hidb/internal/httpclient"
 	"hidb/internal/httpserver"
+	"hidb/internal/index"
 	"hidb/internal/journal"
 	"hidb/internal/parallel"
 	"hidb/internal/session"
@@ -165,6 +185,11 @@ type (
 	QueryResult = hiddendb.Result
 	// LocalServer is an in-process hidden database.
 	LocalServer = hiddendb.Local
+	// PlannerStats is a local store's query-planner introspection: cached
+	// plan shapes, plan-cache hits and misses, and per-access-path execution
+	// counts (see LocalServer.PlanStats and the package doc's engine
+	// section).
+	PlannerStats = index.PlanStats
 )
 
 // BatchedServer upgrades a legacy single-query server implementation to

@@ -41,6 +41,44 @@ func TestCrawlPicksAlgorithmAndCompletes(t *testing.T) {
 	}
 }
 
+// TestPlannerHitRateDuringCrawl pins the plan cache's reason to exist: a
+// crawl issues thousands of structurally identical queries (same attribute
+// and predicate-kind pattern, different constants), so all but the first few
+// plan-cache lookups must hit.
+func TestPlannerHitRateDuringCrawl(t *testing.T) {
+	ds := hidb.YahooLike(9)
+	if testing.Short() {
+		ds = hidb.AdultLike(9)
+		ds.Tuples = ds.Tuples[:5000]
+	}
+	srv, err := hidb.NewLocalServer(ds.Schema, ds.Tuples, 1000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hidb.Crawl(context.Background(), srv, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := srv.PlanStats()
+	if ps.Hits+ps.Misses < int64(res.Queries) {
+		t.Fatalf("planner saw %d lookups for %d queries", ps.Hits+ps.Misses, res.Queries)
+	}
+	if hr := ps.HitRate(); hr <= 0.9 {
+		t.Errorf("plan-cache hit rate %.3f over %d queries, want > 0.9 (%d shapes cached)",
+			hr, res.Queries, ps.Shapes)
+	} else {
+		t.Logf("plan-cache hit rate %.4f over %d queries, %d shapes, paths %v",
+			hr, res.Queries, ps.Shapes, ps.Paths)
+	}
+	var executed int64
+	for _, c := range ps.Paths {
+		executed += c
+	}
+	if executed < int64(res.Queries) {
+		t.Errorf("access-path executions %d < crawl queries %d", executed, res.Queries)
+	}
+}
+
 func TestBestCrawlerSelection(t *testing.T) {
 	mixed := carSchema(t)
 	if got := hidb.BestCrawler(mixed).Name(); got != "hybrid" {

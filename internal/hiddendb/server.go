@@ -262,6 +262,12 @@ func (l *Local) Shards() int {
 // Dump returns the ground-truth bag (priority order). Test/measurement only.
 func (l *Local) Dump() dataspace.Bag { return dataspace.Bag(l.store.All()) }
 
+// PlanStats reports the backing store's query-planner counters: cached plan
+// shapes, cache hits and misses, and how often each access path executed.
+// The counters are cumulative since construction and safe to read while
+// queries are in flight.
+func (l *Local) PlanStats() index.PlanStats { return l.store.PlanStats() }
+
 // Counting wraps a Server and counts the queries that actually reach it.
 // This is the paper's cost metric. Safe for concurrent use: the counters
 // are atomics, so concurrent crawls over one server never serialize on a

@@ -27,7 +27,9 @@
 //     so a crawl resumes across budgets paying only for new queries.
 //
 // GET /stats reports the aggregate and per-session counters as a
-// wire.StatsMsg.
+// wire.StatsMsg, plus the store's query-planner counters (plan-cache hit
+// rate and per-access-path execution counts) when the backing server
+// exposes them.
 //
 // # The /crawl stream
 //
@@ -84,6 +86,7 @@ import (
 	"hidb/internal/core"
 	"hidb/internal/dataspace"
 	"hidb/internal/hiddendb"
+	"hidb/internal/index"
 	"hidb/internal/session"
 	"hidb/internal/wire"
 )
@@ -672,6 +675,16 @@ func (h *Handler) handleStats(w http.ResponseWriter) {
 				CacheHits:  s.CacheHits,
 				JournalLen: s.JournalLen,
 			})
+		}
+	}
+	if ps, ok := h.srv.(interface{ PlanStats() index.PlanStats }); ok {
+		st := ps.PlanStats()
+		msg.Planner = &wire.PlannerStatsMsg{
+			Shapes:  st.Shapes,
+			Hits:    st.Hits,
+			Misses:  st.Misses,
+			HitRate: st.HitRate(),
+			Paths:   st.Paths,
 		}
 	}
 	writeJSON(w, msg)

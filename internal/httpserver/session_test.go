@@ -152,6 +152,59 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 }
 
+// TestStatsPlannerCounters: GET /stats surfaces the store's query-planner
+// introspection — plan-cache hits/misses and per-access-path counts — and
+// repeated query shapes show up as cache hits.
+func TestStatsPlannerCounters(t *testing.T) {
+	h, ds := sessionHandler(t, 200, 10, session.Config{})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	cl, err := httpclient.DialToken(context.Background(), ts.URL, "alice", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eight distinct-value queries of one shape: the first plans, the rest
+	// hit the cached plan (session memoization never fires — the values all
+	// differ — so every query reaches the store).
+	if _, err := cl.AnswerBatch(context.Background(), distinctBatch(ds.Schema, 8)); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var msg wire.StatsMsg
+	if err := json.NewDecoder(resp.Body).Decode(&msg); err != nil {
+		t.Fatal(err)
+	}
+	p := msg.Planner
+	if p == nil {
+		t.Fatal("stats: no planner counters from a local store")
+	}
+	if p.Hits+p.Misses != 8 {
+		t.Errorf("planner lookups = %d hits + %d misses, want 8 total", p.Hits, p.Misses)
+	}
+	if p.Shapes < 1 || p.Misses < 1 {
+		t.Errorf("planner shapes=%d misses=%d, want >= 1 each", p.Shapes, p.Misses)
+	}
+	if p.Hits != 7 {
+		t.Errorf("planner hits = %d, want 7 (one shape, eight queries)", p.Hits)
+	}
+	if want := float64(p.Hits) / float64(p.Hits+p.Misses); p.HitRate != want {
+		t.Errorf("hit rate %v, want %v", p.HitRate, want)
+	}
+	var executed int64
+	for _, c := range p.Paths {
+		executed += c
+	}
+	if executed != 8 {
+		t.Errorf("access-path executions sum to %d, want 8: %v", executed, p.Paths)
+	}
+}
+
 // TestCrawlStream: POST /crawl extracts the complete database in one round
 // trip, at exactly the client-side crawl's query cost.
 func TestCrawlStream(t *testing.T) {

@@ -1,0 +1,244 @@
+package index
+
+import (
+	"slices"
+	"testing"
+
+	"hidb/internal/datagen"
+	"hidb/internal/simrand"
+)
+
+// refIntersect computes the reference intersection of rank lists.
+func refIntersect(lists ...[]int32) []int32 {
+	count := make(map[int32]int)
+	for _, l := range lists {
+		for _, r := range l {
+			count[r]++
+		}
+	}
+	var out []int32
+	for r, c := range count {
+		if c == len(lists) {
+			out = append(out, r)
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+// randomList draws a sorted duplicate-free rank list over [0, n).
+func randomList(rng *simrand.RNG, n int, density float64) []int32 {
+	var out []int32
+	for r := 0; r < n; r++ {
+		if rng.Bool(density) {
+			out = append(out, int32(r))
+		}
+	}
+	return out
+}
+
+// runList builds a list of consecutive runs: runLen set ranks, gap unset,
+// repeating over [0, n).
+func runList(n, runLen, gap int) []int32 {
+	var out []int32
+	for r := 0; r < n; {
+		for j := 0; j < runLen && r < n; j++ {
+			out = append(out, int32(r))
+			r++
+		}
+		r += gap
+	}
+	return out
+}
+
+func TestContainerKindSelection(t *testing.T) {
+	// One long run → run container.
+	runs := buildRankBitmap(runList(5000, 5000, 0))
+	if k := runs.cs[0].kind; k != containerRun {
+		t.Fatalf("a single 5000-rank run built kind %d, want run", k)
+	}
+	// A sparse scatter → array container.
+	rng := simrand.New(1)
+	sparse := buildRankBitmap(randomList(rng, 60000, 0.01))
+	if k := sparse.cs[0].kind; k != containerArray {
+		t.Fatalf("a ~600-rank scatter built kind %d, want array", k)
+	}
+	// A dense scatter → bitmap container (too many ranks for an array, too
+	// fragmented for runs).
+	dense := buildRankBitmap(randomList(rng, 60000, 0.5))
+	if k := dense.cs[0].kind; k != containerBitmap {
+		t.Fatalf("a ~30000-rank scatter built kind %d, want bitmap", k)
+	}
+}
+
+func TestRankBitmapContains(t *testing.T) {
+	rng := simrand.New(3)
+	// Span several 65536-rank blocks with mixed densities so all three
+	// container kinds appear.
+	list := slices.Concat(
+		randomList(rng, 60000, 0.003),
+		offset(runList(30000, 800, 50), 1<<16),
+		offset(randomList(rng, 60000, 0.6), 1<<17),
+	)
+	bm := buildRankBitmap(list)
+	if bm.card != len(list) {
+		t.Fatalf("card = %d, want %d", bm.card, len(list))
+	}
+	member := make(map[int32]bool, len(list))
+	for _, r := range list {
+		member[r] = true
+	}
+	for probe := int32(0); probe < 3<<16; probe += 97 {
+		key := uint16(probe >> 16)
+		ki := -1
+		for i, k := range bm.keys {
+			if k == key {
+				ki = i
+			}
+		}
+		got := false
+		if ki >= 0 {
+			got = bm.cs[ki].contains(uint16(probe))
+		}
+		if got != member[probe] {
+			t.Fatalf("contains(%d) = %v, want %v", probe, got, member[probe])
+		}
+	}
+}
+
+func offset(list []int32, by int32) []int32 {
+	out := make([]int32, len(list))
+	for i, r := range list {
+		out[i] = r + by
+	}
+	return out
+}
+
+func TestIntersectAgainstReference(t *testing.T) {
+	rng := simrand.New(5)
+	n := 3 << 16 // three blocks
+	cases := [][][]int32{
+		{randomList(rng, n, 0.03), randomList(rng, n, 0.04)},
+		{randomList(rng, n, 0.3), randomList(rng, n, 0.25), randomList(rng, n, 0.2)},
+		{runList(n, 1000, 300), randomList(rng, n, 0.1)},
+		{runList(n, 64, 64), runList(n, 96, 32), randomList(rng, n, 0.5)},
+		// Disjoint block sets: empty intersection via key skipping.
+		{runList(1<<16, 100, 100), offset(runList(1<<16, 100, 100), 1<<17)},
+		// A sparse driver against dense others (the probe strategy).
+		{randomList(rng, n, 0.001), randomList(rng, n, 0.6), randomList(rng, n, 0.7)},
+	}
+	words := make([]uint64, bitmapWords)
+	for ci, lists := range cases {
+		want := refIntersect(lists...)
+		bms := make([]*rankBitmap, len(lists))
+		for i, l := range lists {
+			bms[i] = buildRankBitmap(l)
+		}
+		got := intersectInto(bms, words, nil, -1)
+		if !slices.Equal(got, want) {
+			t.Fatalf("case %d: intersectInto returned %d ranks, want %d (first diff around %v)",
+				ci, len(got), len(want), firstDiff(got, want))
+		}
+		if c := intersectCount(bms, words); c != len(want) {
+			t.Fatalf("case %d: intersectCount = %d, want %d", ci, c, len(want))
+		}
+		// max truncation returns exactly the prefix.
+		if len(want) > 3 {
+			trunc := intersectInto(bms, words, nil, 3)
+			if !slices.Equal(trunc, want[:3]) {
+				t.Fatalf("case %d: truncated intersection = %v, want %v", ci, trunc, want[:3])
+			}
+		}
+	}
+}
+
+func firstDiff(a, b []int32) [2]int32 {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return [2]int32{a[i], b[i]}
+		}
+	}
+	return [2]int32{-1, -1}
+}
+
+func TestAndWordsAllKinds(t *testing.T) {
+	rng := simrand.New(7)
+	lists := map[string][]int32{
+		"array":  randomList(rng, 1<<16, 0.01),
+		"bitmap": randomList(rng, 1<<16, 0.5),
+		"run":    runList(1<<16, 500, 200),
+	}
+	words := make([]uint64, bitmapWords)
+	ref := make([]uint64, bitmapWords)
+	for nameA, la := range lists {
+		for nameB, lb := range lists {
+			ca := buildContainer(la)
+			cb := buildContainer(lb)
+			ca.writeWords(words)
+			cb.andWords(words)
+			// Reference: materialize both and AND.
+			tmp := make([]uint64, bitmapWords)
+			ca.writeWords(ref)
+			cb.writeWords(tmp)
+			for i := range ref {
+				ref[i] &= tmp[i]
+			}
+			if !slices.Equal(words, ref) {
+				t.Fatalf("andWords(%s over %s) diverges from materialized AND", nameB, nameA)
+			}
+		}
+	}
+}
+
+func TestSetClearRange(t *testing.T) {
+	words := make([]uint64, bitmapWords)
+	setRange(words, 0, 1<<16-1)
+	for i, w := range words {
+		if w != ^uint64(0) {
+			t.Fatalf("full setRange left word %d = %x", i, w)
+		}
+	}
+	clearRange(words, 64, 191) // exactly words 1 and 2
+	if words[0] != ^uint64(0) || words[1] != 0 || words[2] != 0 || words[3] != ^uint64(0) {
+		t.Fatal("aligned clearRange wrong")
+	}
+	clear(words)
+	setRange(words, 3, 3) // single bit, single word
+	if words[0] != 1<<3 {
+		t.Fatalf("single-bit setRange = %x", words[0])
+	}
+	setRange(words, 60, 70) // straddles a word boundary
+	if words[0] != 1<<3|uint64(0xF)<<60 || words[1] != (1<<7)-1 {
+		t.Fatalf("straddling setRange = %x %x", words[0], words[1])
+	}
+	clearRange(words, 70, 60) // inverted: no-op
+	if words[1] != (1<<7)-1 {
+		t.Fatal("inverted clearRange should be a no-op")
+	}
+}
+
+func TestBuildRankBitmapMatchesPostingList(t *testing.T) {
+	// End-to-end: a store's bitmap index must agree with its posting lists.
+	s := tierStore(t, datagen.PatternRandom, 61)
+	words := make([]uint64, bitmapWords)
+	for i := 0; i < 3; i++ {
+		for v, list := range s.post[i] {
+			bm := s.bitmaps[i].get(v)
+			if bm == nil {
+				t.Fatalf("attr %d value %d: posting list exists but bitmap missing", i, v)
+			}
+			got := intersectInto([]*rankBitmap{bm}, words, nil, -1)
+			if !slices.Equal(got, list) {
+				t.Fatalf("attr %d value %d: bitmap enumerates %d ranks, posting list has %d",
+					i, v, len(got), len(list))
+			}
+		}
+		if s.bitmaps[i].get(-99) != nil {
+			t.Fatalf("attr %d: absent value returned a bitmap", i)
+		}
+	}
+	var nilIdx *bitmapIndex
+	if nilIdx.get(1) != nil {
+		t.Fatal("nil bitmapIndex.get should return nil")
+	}
+}

@@ -14,13 +14,16 @@
 // schema lookup (the attribute kinds are flattened into a []bool once at
 // build time).
 //
-// # Access paths
+// # Access paths (planner v2)
 //
-// Three access paths are maintained and chosen between per query, the way
-// a (very small) relational engine would:
+// Five access paths are maintained and chosen between per query, the way a
+// (very small) relational engine would:
 //
-//   - a priority-ordered columnar scan, cheap when the query is broad
-//     (overflowing queries terminate after k+1 matches);
+//   - a priority-ordered columnar scan that evaluates predicates over
+//     8-rank column chunks (a per-chunk survivor bitmask per predicate,
+//     ANDed across predicates with early break), so the scan reads each
+//     column sequentially instead of tuple-at-a-time; overflowing queries
+//     terminate after k+1 matches;
 //   - per-attribute secondary indexes — rank-ascending posting lists for
 //     categorical equality predicates and value-sorted columns for numeric
 //     ranges — cheap when one predicate is selective;
@@ -28,32 +31,59 @@
 //     posting via a galloping (exponential-search) merge of the two
 //     rank-ascending lists, and posting ∩ range (or range ∩ range/equality)
 //     via a precomputed rank→sorted-position permutation that answers "is
-//     this rank inside the value range?" with one load and two compares.
+//     this rank inside the value range?" with one load and two compares;
+//   - roaring-style bitmap intersection (bitmap.go): low-cardinality
+//     categorical attributes (domain ≤ bitmapMaxDomain, store ≥
+//     bitmapMinTuples) mirror each value's posting list as array / bitmap /
+//     run containers over rank space, so a 2-, 3- or k-way equality
+//     intersection is a word-parallel AND — 64 ranks per operation — that
+//     enumerates in exactly the rank order Select must return.
+//
+// Every path returns the same tuples in the same order; the planner's
+// choice affects time only, never results.
 //
 // # Cost model
 //
-// The planner computes the exact candidate count of every usable predicate
-// (posting-list length / binary-searched range width), takes the two
-// tightest, and falls back to the scan unless the best index path touches
-// at most n/4 candidates (the scan early-exits after k+1 matches, so a
-// broad index path would only add sorting work). Count uses the same
-// planner with the full n as the scan cost, because counting cannot
-// early-exit.
+// Costs are measured, not assumed. Each Store samples its relation at
+// construction (stats.go): the scan's expected cost is want/jointSel — how
+// deep the early-exiting scan must go before it has collected limit+1
+// matches, with jointSel the full conjunction's selectivity evaluated on
+// the sample — clamped to n. Index-path costs come from exact candidate
+// counts (posting-list length, binary-searched range width) with small
+// constant factors for the per-candidate work (probe ≈ 2×, sort-restoring
+// range enumeration ≈ 3×), and the bitmap path costs its word-AND sweep
+// (n/64 words per attribute) plus ~1.5× the expected intersection size.
+// The cheapest path wins. Count keeps the v1 planner (choosePlan, full n as
+// the scan cost, since counting cannot early-exit) plus a popcount fast
+// path when every bound predicate is bitmap-indexed.
+//
+// # Plan cache
+//
+// The chosen path is memoized per query shape — the per-attribute predicate
+// kinds, not the values — in a lock-free copy-on-write cache (plancache.go),
+// so the steady state of every crawl algorithm (thousands of queries in a
+// handful of shapes) skips planning entirely. A cached plan fixes only the
+// structural decision (path kind and driving attributes); posting lists,
+// range bounds and bitmaps are re-fetched from the query's actual values at
+// execution time, which is what makes a shape-cached plan correct for every
+// query of its shape. Store.PlanStats exposes the cache's hit counters and
+// per-path execution counts.
 //
 // # Allocation discipline
 //
 // Select performs one allocation per call — the result slice, sized
 // exactly min(limit+1, candidates) — regardless of access path. The
-// numeric-range path needs its candidate ranks in rank order; instead of
-// the allocating sort.Slice of a fresh rank slice, it filters into a
-// sync.Pool-recycled scratch buffer and sorts with the allocation-free
-// slices.Sort. Count allocates nothing. The scratch pool is per-Store, so
-// the shards of a Sharded store never contend on a shared pool.
+// numeric-range and bitmap paths need intermediate rank buffers; they
+// filter into sync.Pool-recycled scratch (ranks and bitmap words) and sort
+// with the allocation-free slices.Sort. Count allocates nothing. The
+// scratch pools are per-Store, so the shards of a Sharded store never
+// contend on a shared pool.
 package index
 
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"slices"
 	"sort"
 	"sync"
@@ -75,6 +105,10 @@ type Store struct {
 	cols [][]int64
 	// post[i] maps a categorical value to the ranks holding it, ascending.
 	post []map[int64][]int32
+	// bitmaps[i] mirrors post[i] as roaring-style rank bitmaps for
+	// low-cardinality categorical attributes; nil when the attribute does
+	// not qualify (numeric, wide domain, or store too small to pay off).
+	bitmaps []*bitmapIndex
 	// sortedVal[i] is numeric column i's values sorted ascending (ties in
 	// rank order); sortedRank[i] carries the rank of each sorted cell.
 	sortedVal  [][]int64
@@ -83,11 +117,29 @@ type Store struct {
 	// rank→sorted-position permutation the intersection paths use to test
 	// range membership in O(1).
 	rankPos [][]int32
-	// scratch recycles the rank buffers of the numeric-range path. It is
-	// per-Store (not package-global) so that independent shards of a
-	// Sharded store never contend on one pool.
+	// stats is the sampled selectivity statistics driving the cost model.
+	// Shards of a Sharded store share one instance.
+	stats *SelStats
+	// pc is the per-shape plan cache plus the planner counters.
+	pc *planCache
+	// scratch recycles the rank buffers of the numeric-range and bitmap
+	// paths. It is per-Store (not package-global) so that independent
+	// shards of a Sharded store never contend on one pool.
 	scratch sync.Pool
+	// words recycles the bitmapWords-long word buffers of the bitmap path.
+	words sync.Pool
 }
+
+// bitmapMaxDomain is the categorical domain size up to which an attribute
+// gets a bitmap index: beyond it, per-value bitmaps are too sparse to beat
+// the posting list. A variable so tests can widen it.
+var bitmapMaxDomain = 64
+
+// bitmapMinTuples is the store size below which bitmap indexes are not
+// built: on a store this small every column is cache-resident and the
+// posting paths win outright. A variable so tests can drive the bitmap
+// paths on test-sized stores.
+var bitmapMinTuples = 4096
 
 // New builds a Store over tuples already arranged in descending priority
 // order. The tuples must all validate against the schema.
@@ -95,6 +147,14 @@ func New(schema *dataspace.Schema, byRank []dataspace.Tuple) (*Store, error) {
 	if schema == nil {
 		return nil, fmt.Errorf("index: nil schema")
 	}
+	return newWithStats(schema, byRank, nil)
+}
+
+// newWithStats builds a Store, reusing the given selectivity statistics
+// when non-nil (the Sharded constructor samples the full relation once and
+// shares the result across shards; selectivity is a property of the data
+// shape, not of any one priority band).
+func newWithStats(schema *dataspace.Schema, byRank []dataspace.Tuple, stats *SelStats) (*Store, error) {
 	d := schema.Dims()
 	for r, t := range byRank {
 		if err := t.Validate(schema); err != nil {
@@ -106,12 +166,16 @@ func New(schema *dataspace.Schema, byRank []dataspace.Tuple) (*Store, error) {
 		schema:     schema,
 		byRank:     byRank,
 		scratch:    sync.Pool{New: func() any { return new([]int32) }},
+		words:      sync.Pool{New: func() any { p := make([]uint64, bitmapWords); return &p }},
 		isCat:      make([]bool, d),
 		cols:       make([][]int64, d),
 		post:       make([]map[int64][]int32, d),
+		bitmaps:    make([]*bitmapIndex, d),
 		sortedVal:  make([][]int64, d),
 		sortedRank: make([][]int32, d),
 		rankPos:    make([][]int32, d),
+		stats:      stats,
+		pc:         newPlanCache(),
 	}
 	for i := 0; i < d; i++ {
 		col := make([]int64, n)
@@ -119,13 +183,21 @@ func New(schema *dataspace.Schema, byRank []dataspace.Tuple) (*Store, error) {
 			col[r] = t[i]
 		}
 		s.cols[i] = col
-		if schema.Attr(i).Kind == dataspace.Categorical {
+		attr := schema.Attr(i)
+		if attr.Kind == dataspace.Categorical {
 			s.isCat[i] = true
 			m := make(map[int64][]int32)
 			for r, v := range col {
 				m[v] = append(m[v], int32(r))
 			}
 			s.post[i] = m
+			if n >= bitmapMinTuples && attr.DomainSize <= bitmapMaxDomain {
+				bi := &bitmapIndex{m: make(map[int64]*rankBitmap, len(m))}
+				for v, list := range m {
+					bi.m[v] = buildRankBitmap(list)
+				}
+				s.bitmaps[i] = bi
+			}
 		} else {
 			perm := make([]int32, n)
 			for r := range perm {
@@ -149,6 +221,9 @@ func New(schema *dataspace.Schema, byRank []dataspace.Tuple) (*Store, error) {
 			s.rankPos[i] = pos
 		}
 	}
+	if s.stats == nil {
+		s.stats = buildSelStats(schema, byRank)
+	}
 	return s, nil
 }
 
@@ -162,10 +237,38 @@ func (s *Store) Schema() *dataspace.Schema { return s.schema }
 // shared; callers must not mutate them.
 func (s *Store) All() []dataspace.Tuple { return s.byRank }
 
+// Stats returns the store's sampled selectivity statistics.
+func (s *Store) Stats() *SelStats { return s.stats }
+
+// PlanStats returns the planner's cumulative counters: cached shapes, plan
+// cache hits and misses, and per-access-path Select execution counts.
+func (s *Store) PlanStats() PlanStats { return s.pc.stats() }
+
 // coversAt reports whether the tuple at rank r satisfies every predicate,
 // reading the columns directly.
 func (s *Store) coversAt(preds []dataspace.Pred, r int32) bool {
 	for i := range preds {
+		p := &preds[i]
+		v := s.cols[i][r]
+		if s.isCat[i] {
+			if !p.Wild && v != p.Value {
+				return false
+			}
+		} else if v < p.Lo || v > p.Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// coversAtSkip is coversAt with the attributes in the skip bitmask assumed
+// satisfied — the bitmap path's residual check, which never re-tests the
+// equality predicates the bitmap intersection already enforced.
+func (s *Store) coversAtSkip(preds []dataspace.Pred, r int32, skip uint64) bool {
+	for i := range preds {
+		if skip>>uint(i)&1 != 0 {
+			continue
+		}
 		p := &preds[i]
 		v := s.cols[i][r]
 		if s.isCat[i] {
@@ -206,8 +309,11 @@ func rangeBounds(vals []int64, lo, hi int64) (from, to int) {
 	return from, to
 }
 
-// plan describes the access path chosen for a query: a primary candidate
-// enumerator plus an optional secondary intersection filter.
+// plan describes the value-specific execution of one query: a primary
+// candidate enumerator plus an optional secondary intersection filter. It
+// is rebuilt per query (buildPlan) from the shape-cached structural
+// decision, or computed from scratch by choosePlan (the v1 planner, still
+// the exact-cost engine behind Count).
 type plan struct {
 	// primary is the attribute of the primary access path; -1 means the
 	// priority-ordered columnar scan.
@@ -230,9 +336,11 @@ type plan struct {
 	bound int
 }
 
-// choosePlan picks the cheapest access path for the predicates. maxCost is
-// the candidate count above which the scan wins (n/4 for Select, whose
-// scan early-exits; n for Count, whose scan cannot).
+// choosePlan picks the cheapest access path for the predicates from exact
+// candidate counts. maxCost is the candidate count above which the scan
+// wins (n for Count, whose scan cannot early-exit). Select no longer calls
+// this — planPath replaces the fixed margin with the sampled cost model —
+// but Count and the forced-path tests still do.
 func (s *Store) choosePlan(preds []dataspace.Pred, maxCost int) plan {
 	pl := plan{primary: -1, secondary: -1}
 	best1, best2 := -1, -1
@@ -300,29 +408,296 @@ func (s *Store) Select(q dataspace.Query, limit int) []dataspace.Tuple {
 		limit = 0
 	}
 	want := limit + 1
-	n := len(s.byRank)
 	preds := q.Preds()
-	pl := s.choosePlan(preds, n/4)
-	switch {
-	case pl.primary < 0:
-		out := make([]dataspace.Tuple, 0, min(want, n))
-		for r := 0; r < n; r++ {
-			if s.coversAt(preds, int32(r)) {
+	key, ok := shapeKey(s.isCat, preds)
+	var cp *cachedPlan
+	if ok {
+		cp = s.pc.get(key)
+	} else {
+		s.pc.misses.Add(1)
+	}
+	if cp == nil {
+		cp = s.planPath(preds, want)
+		if ok {
+			s.pc.put(key, cp)
+		}
+	}
+	return s.execSelect(cp, preds, want)
+}
+
+// planPath chooses the access path for a query whose shape has no cached
+// plan yet, using the sampled cost model (see the package comment). The
+// returned plan carries only the structural decision; execSelect re-derives
+// the value-specific artifacts per query.
+func (s *Store) planPath(preds []dataspace.Pred, want int) *cachedPlan {
+	n := len(s.byRank)
+	best1, best2 := -1, -1
+	var m1, m2 int
+	var bmAttrs []int8
+	var bmSkip uint64
+	bmSel := 1.0
+	bound := 0
+	useBitmaps := len(preds) <= shapeMaxDims
+	for i := range preds {
+		p := &preds[i]
+		var m int
+		if s.isCat[i] {
+			if p.Wild {
+				continue
+			}
+			m = len(s.post[i][p.Value])
+			if useBitmaps && s.bitmaps[i] != nil {
+				bmAttrs = append(bmAttrs, int8(i))
+				bmSkip |= 1 << uint(i)
+				bmSel *= float64(m) / float64(n)
+			}
+		} else {
+			if p.Lo == dataspace.NegInf && p.Hi == dataspace.PosInf {
+				continue
+			}
+			from, to := rangeBounds(s.sortedVal[i], p.Lo, p.Hi)
+			m = to - from
+		}
+		bound++
+		switch {
+		case best1 < 0 || m < m1:
+			best2, m2 = best1, m1
+			best1, m1 = i, m
+		case best2 < 0 || m < m2:
+			best2, m2 = i, m
+		}
+	}
+	_ = m2
+	// Expected ranks the chunked scan reads before collecting want matches.
+	scanCost := float64(n)
+	if c := float64(want) / s.stats.jointSel(preds); c < scanCost {
+		scanCost = c
+	}
+	cp := &cachedPlan{path: pathScan, primary: -1, secondary: -1}
+	bestCost := scanCost
+	if best1 >= 0 {
+		var idxCost float64
+		var path pathKind
+		if s.isCat[best1] {
+			// Posting walk: one secondary probe + residual check per candidate.
+			idxCost = 2 * float64(m1)
+			path = pathPosting
+		} else {
+			// Range enumeration pays an extra rank re-sort.
+			idxCost = 3 * float64(m1)
+			path = pathRange
+		}
+		if idxCost < bestCost {
+			bestCost = idxCost
+			cp = &cachedPlan{path: path, primary: int8(best1), secondary: int8(best2)}
+		}
+	}
+	if len(bmAttrs) >= 2 {
+		// Word-parallel AND over every block plus the emission of the
+		// expected intersection (independence estimate from exact
+		// per-value frequencies).
+		bmCost := float64(n)/64*float64(len(bmAttrs)) + 1.5*float64(n)*bmSel
+		if bmCost < bestCost {
+			exact := bound == len(bmAttrs)
+			cp = &cachedPlan{path: pathBitmap, primary: -1, secondary: -1,
+				bitmapAttrs: bmAttrs, bitmapSkip: bmSkip, exact: exact}
+		}
+	}
+	return cp
+}
+
+// execSelect runs a structural plan against the query's actual values. The
+// posting/gallop/range family rebuilds its value-specific plan (which
+// posting list, which range bounds, which of the two attributes is tighter)
+// per query, so a shape-cached decision stays correct for every query of
+// the shape.
+func (s *Store) execSelect(cp *cachedPlan, preds []dataspace.Pred, want int) []dataspace.Tuple {
+	switch cp.path {
+	case pathScan:
+		s.pc.note(pathScan)
+		return s.selectScan(preds, want)
+	case pathBitmap:
+		s.pc.note(pathBitmap)
+		return s.selectBitmap(cp, preds, want)
+	default:
+		pl := s.buildPlan(cp, preds)
+		if s.isCat[pl.primary] {
+			if pl.secondary >= 0 && s.isCat[pl.secondary] && useGallop(len(pl.secList), len(s.byRank)) {
+				s.pc.note(pathGallop)
+				return s.selectGallop(preds, pl, want)
+			}
+			s.pc.note(pathPosting)
+			return s.selectPosting(preds, pl, want)
+		}
+		s.pc.note(pathRange)
+		return s.selectRange(preds, pl, want)
+	}
+}
+
+// buildPlan materializes the value-specific plan for the cached structural
+// decision: it fetches the posting lists / range bounds of the two chosen
+// attributes for this query's values and lets the tighter one drive (the
+// cached primary was tightest for the query that planned the shape, not
+// necessarily for this one).
+func (s *Store) buildPlan(cp *cachedPlan, preds []dataspace.Pred) plan {
+	a := int(cp.primary)
+	var mA, fromA, toA int
+	var listA []int32
+	if s.isCat[a] {
+		listA = s.post[a][preds[a].Value]
+		mA = len(listA)
+	} else {
+		fromA, toA = rangeBounds(s.sortedVal[a], preds[a].Lo, preds[a].Hi)
+		mA = toA - fromA
+	}
+	b := int(cp.secondary)
+	if b < 0 {
+		return plan{primary: a, m: mA, list: listA, from: fromA, to: toA, secondary: -1}
+	}
+	var mB, fromB, toB int
+	var listB []int32
+	if s.isCat[b] {
+		listB = s.post[b][preds[b].Value]
+		mB = len(listB)
+	} else {
+		fromB, toB = rangeBounds(s.sortedVal[b], preds[b].Lo, preds[b].Hi)
+		mB = toB - fromB
+	}
+	if mB < mA {
+		a, b = b, a
+		mA, fromA, toA, listA, mB, fromB, toB, listB = mB, fromB, toB, listB, mA, fromA, toA, listA
+	}
+	pl := plan{primary: a, m: mA, list: listA, from: fromA, to: toA, secondary: b}
+	if s.isCat[b] {
+		pl.secList = listB
+	} else {
+		pl.secFrom, pl.secTo = int32(fromB), int32(toB)
+	}
+	return pl
+}
+
+// scanChunk is the rank-block width of the chunked scan: 8 ranks per mask
+// keeps the per-predicate inner loop unrollable while a chunk of every
+// column still fits comfortably in L1.
+const scanChunk = 8
+
+// selectScan is the priority-ordered columnar scan, evaluated in
+// scanChunk-wide column chunks: each bound predicate computes a survivor
+// bitmask over the chunk from one sequential column read, the masks AND
+// together (with an early break when a chunk dies), and only survivors are
+// emitted — in rank order, since bit i of the mask is rank base+i.
+func (s *Store) selectScan(preds []dataspace.Pred, want int) []dataspace.Tuple {
+	n := len(s.byRank)
+	out := make([]dataspace.Tuple, 0, min(want, n))
+	base := 0
+	for ; base+scanChunk <= n; base += scanChunk {
+		mask := s.chunkMask(preds, base)
+		for mask != 0 {
+			b := bits.TrailingZeros32(mask)
+			mask &= mask - 1
+			out = append(out, s.byRank[base+b])
+			if len(out) == want {
+				return out
+			}
+		}
+	}
+	for r := base; r < n; r++ {
+		if s.coversAt(preds, int32(r)) {
+			out = append(out, s.byRank[r])
+			if len(out) == want {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// chunkMask evaluates every bound predicate over the scanChunk ranks at
+// base, returning the bitmask of ranks satisfying all of them.
+func (s *Store) chunkMask(preds []dataspace.Pred, base int) uint32 {
+	mask := uint32(1<<scanChunk - 1)
+	for i := range preds {
+		p := &preds[i]
+		var m uint32
+		if s.isCat[i] {
+			if p.Wild {
+				continue
+			}
+			col := s.cols[i][base : base+scanChunk : base+scanChunk]
+			v := p.Value
+			for j := 0; j < scanChunk; j++ {
+				if col[j] == v {
+					m |= 1 << uint(j)
+				}
+			}
+		} else {
+			if p.Lo == dataspace.NegInf && p.Hi == dataspace.PosInf {
+				continue
+			}
+			col := s.cols[i][base : base+scanChunk : base+scanChunk]
+			lo, hi := p.Lo, p.Hi
+			for j := 0; j < scanChunk; j++ {
+				if v := col[j]; v >= lo && v <= hi {
+					m |= 1 << uint(j)
+				}
+			}
+		}
+		mask &= m
+		if mask == 0 {
+			break
+		}
+	}
+	return mask
+}
+
+// selectBitmap intersects the rank bitmaps of the plan's equality
+// predicates into a pooled rank buffer (ascending — already priority
+// order) and applies the residual predicates, if any, per surviving rank.
+// A plan whose bitmaps cover every bound predicate (cp.exact) needs no
+// residual pass and lets the intersection stop at want ranks.
+func (s *Store) selectBitmap(cp *cachedPlan, preds []dataspace.Pred, want int) []dataspace.Tuple {
+	var bmArr [shapeMaxDims]*rankBitmap
+	bms := bmArr[:0]
+	for _, a := range cp.bitmapAttrs {
+		bm := s.bitmaps[a].get(preds[a].Value)
+		if bm == nil {
+			// The value occurs nowhere: the intersection is empty.
+			return []dataspace.Tuple{}
+		}
+		bms = append(bms, bm)
+	}
+	// Let the sparsest bitmap drive the block walk.
+	for i := 1; i < len(bms); i++ {
+		for j := i; j > 0 && bms[j].card < bms[j-1].card; j-- {
+			bms[j], bms[j-1] = bms[j-1], bms[j]
+		}
+	}
+	maxRanks := -1
+	if cp.exact {
+		maxRanks = want
+	}
+	wordsp := s.words.Get().(*[]uint64)
+	bufp := s.getScratch(1 << 10)
+	ranks := intersectInto(bms, *wordsp, (*bufp)[:0], maxRanks)
+	out := make([]dataspace.Tuple, 0, min(want, len(ranks)))
+	if cp.exact {
+		for _, r := range ranks {
+			out = append(out, s.byRank[r])
+		}
+	} else {
+		for _, r := range ranks {
+			if s.coversAtSkip(preds, r, cp.bitmapSkip) {
 				out = append(out, s.byRank[r])
 				if len(out) == want {
 					break
 				}
 			}
 		}
-		return out
-	case s.isCat[pl.primary]:
-		if pl.secondary >= 0 && s.isCat[pl.secondary] && useGallop(len(pl.secList), n) {
-			return s.selectGallop(preds, pl, want)
-		}
-		return s.selectPosting(preds, pl, want)
-	default:
-		return s.selectRange(preds, pl, want)
 	}
+	*bufp = ranks[:0]
+	s.scratch.Put(bufp)
+	s.words.Put(wordsp)
+	return out
 }
 
 // useGallop decides how a posting ∩ posting intersection tests membership
@@ -500,6 +875,50 @@ func (s *Store) SelectBatch(ctx context.Context, qs []dataspace.Query, limit int
 	return out
 }
 
+// countBitmap answers a Count whose bound predicates are all bitmap-indexed
+// equalities with a popcount of the bitmap intersection — no candidate is
+// ever enumerated. ok=false means the query does not qualify and the caller
+// falls back to the exact-cost planner.
+func (s *Store) countBitmap(preds []dataspace.Pred) (int, bool) {
+	if len(preds) > shapeMaxDims {
+		return 0, false
+	}
+	var bmArr [shapeMaxDims]*rankBitmap
+	bms := bmArr[:0]
+	for i := range preds {
+		p := &preds[i]
+		if s.isCat[i] {
+			if p.Wild {
+				continue
+			}
+			if s.bitmaps[i] == nil {
+				return 0, false
+			}
+			bm := s.bitmaps[i].get(p.Value)
+			if bm == nil {
+				// The value occurs nowhere, so the conjunction is empty
+				// no matter what the other predicates say.
+				return 0, true
+			}
+			bms = append(bms, bm)
+		} else if p.Lo != dataspace.NegInf || p.Hi != dataspace.PosInf {
+			return 0, false
+		}
+	}
+	if len(bms) < 2 {
+		return 0, false
+	}
+	for i := 1; i < len(bms); i++ {
+		for j := i; j > 0 && bms[j].card < bms[j-1].card; j-- {
+			bms[j], bms[j-1] = bms[j-1], bms[j]
+		}
+	}
+	wordsp := s.words.Get().(*[]uint64)
+	c := intersectCount(bms, *wordsp)
+	s.words.Put(wordsp)
+	return c, true
+}
+
 // Count returns the exact number of tuples matching q. Unlike Select it
 // cannot early-exit, so the planner prefers any index path over the scan;
 // result order is irrelevant, so no sorting or allocation happens on any
@@ -507,6 +926,9 @@ func (s *Store) SelectBatch(ctx context.Context, qs []dataspace.Query, limit int
 func (s *Store) Count(q dataspace.Query) int {
 	n := len(s.byRank)
 	preds := q.Preds()
+	if c, ok := s.countBitmap(preds); ok {
+		return c
+	}
 	pl := s.choosePlan(preds, n)
 	switch {
 	case pl.bound == 0:

@@ -1,0 +1,215 @@
+// The per-shape plan cache.
+//
+// Every crawl algorithm in this repository issues its queries in a handful
+// of shapes: the same attributes bound the same way, only the constants
+// changing as the algorithm refines its rectangles. Planning is therefore
+// almost always re-deriving a decision already made, so the Store memoizes
+// the chosen access path per query *shape* — the per-attribute predicate
+// kinds (wildcard, equality, bounded range, point range), never the values.
+//
+// The shape key packs 2 bits per attribute into a uint64, so any schema of
+// up to 32 attributes gets an allocation-free key; wider schemas skip the
+// cache and plan every query. Reads are lock-free: the shape→plan map is an
+// immutable snapshot behind an atomic pointer, and writers (rare — a
+// workload's shape set stabilizes within the first few queries) copy,
+// extend and republish it under a mutex. The cache is capped: once
+// planCacheCap shapes are resident, new shapes plan on every query rather
+// than evicting — a crawl's working set is tiny, and a cap beats an
+// eviction policy on the hot path.
+//
+// A cached plan stores only the structural decision (path kind and the
+// attributes it uses); the value-dependent artifacts — which posting list,
+// which sorted-segment bounds, which bitmaps — are fetched per query at
+// execution time, so a cached plan is correct for every query of its shape.
+// Cost-optimality is shape-level by design: the plan is derived from the
+// measured selectivities of the first query of the shape, and later queries
+// of the same shape reuse it even if their constants are atypical. Every
+// access path returns exact results, so this trades only (bounded) time,
+// never correctness.
+package index
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"hidb/internal/dataspace"
+)
+
+// Per-attribute shape codes, 2 bits each.
+const (
+	shapeFree  = 0 // categorical wildcard or unbounded numeric range
+	shapeEq    = 1 // categorical equality
+	shapeRange = 2 // bounded numeric range
+	shapePoint = 3 // single-value numeric range (Lo == Hi)
+)
+
+// shapeMaxDims is the widest schema the packed shape key covers.
+const shapeMaxDims = 32
+
+// shapeKey packs the query's predicate kinds into a uint64. ok is false for
+// schemas too wide to pack, in which case the caller plans without caching.
+func shapeKey(isCat []bool, preds []dataspace.Pred) (key uint64, ok bool) {
+	if len(preds) > shapeMaxDims {
+		return 0, false
+	}
+	for i := range preds {
+		p := &preds[i]
+		var code uint64
+		if isCat[i] {
+			if !p.Wild {
+				code = shapeEq
+			}
+		} else if p.Lo != dataspace.NegInf || p.Hi != dataspace.PosInf {
+			if p.Lo == p.Hi {
+				code = shapePoint
+			} else {
+				code = shapeRange
+			}
+		}
+		key |= code << (2 * i)
+	}
+	return key, true
+}
+
+// pathKind identifies one access path of the engine.
+type pathKind uint8
+
+const (
+	pathScan    pathKind = iota // chunked priority-order columnar scan
+	pathPosting                 // posting-list walk, optional secondary probe
+	pathGallop                  // posting ∩ posting galloping merge
+	pathRange                   // sorted-segment enumeration + rank re-sort
+	pathBitmap                  // word-parallel bitmap AND
+	numPaths
+)
+
+// pathNames maps pathKind to the stable names PlanStats reports.
+var pathNames = [numPaths]string{"scan", "posting", "gallop", "range", "bitmap"}
+
+// cachedPlan is the value-independent part of a plan: which path, driven by
+// which attributes. Immutable once published.
+type cachedPlan struct {
+	path pathKind
+	// primary and secondary are the driving attributes of the posting/range
+	// paths; -1 when unused.
+	primary, secondary int8
+	// bitmapAttrs lists the attributes ANDed on the bitmap path, and
+	// bitmapSkip is the same set as a bitmask (coversAtSkip's argument).
+	bitmapAttrs []int8
+	bitmapSkip  uint64
+	// exact marks a bitmap plan whose intersection already enforces every
+	// bound predicate: no residual pass, and the intersection may stop at
+	// the first limit+1 ranks.
+	exact bool
+}
+
+// planCacheCap bounds the resident shapes. A variable so tests can disable
+// caching (0) to compare cached and uncached planning.
+var planCacheCap = 512
+
+// planCache is the lock-free shape→plan cache plus the planner's counters.
+type planCache struct {
+	// snap holds the current immutable shape→plan snapshot.
+	snap atomic.Pointer[map[uint64]*cachedPlan]
+	// mu serializes writers; readers never take it.
+	mu sync.Mutex
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	paths  [numPaths]atomic.Int64
+}
+
+func newPlanCache() *planCache {
+	c := &planCache{}
+	m := make(map[uint64]*cachedPlan)
+	c.snap.Store(&m)
+	return c
+}
+
+// get returns the cached plan for the shape, counting a hit or miss.
+func (c *planCache) get(key uint64) *cachedPlan {
+	if cp, ok := (*c.snap.Load())[key]; ok {
+		c.hits.Add(1)
+		return cp
+	}
+	c.misses.Add(1)
+	return nil
+}
+
+// put publishes a plan for the shape via copy-on-write. Beyond the cap the
+// plan is dropped; losing a cache entry only costs re-planning.
+func (c *planCache) put(key uint64, cp *cachedPlan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := *c.snap.Load()
+	if _, ok := old[key]; ok {
+		return
+	}
+	if len(old) >= planCacheCap {
+		return
+	}
+	next := make(map[uint64]*cachedPlan, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[key] = cp
+	c.snap.Store(&next)
+}
+
+// note counts one execution of the given access path.
+func (c *planCache) note(p pathKind) { c.paths[p].Add(1) }
+
+// PlanStats reports the planner's observable behaviour: how many distinct
+// query shapes hold cached plans, how often planning was skipped because a
+// shape's plan was already cached, and how many times each access path
+// actually executed. Counters are cumulative since Store construction.
+type PlanStats struct {
+	// Shapes is the number of distinct query shapes with a cached plan.
+	Shapes int `json:"shapes"`
+	// Hits counts Selects that skipped planning via the shape cache.
+	Hits int64 `json:"hits"`
+	// Misses counts Selects that ran the full planner (including every
+	// query on schemas too wide for the packed shape key).
+	Misses int64 `json:"misses"`
+	// Paths counts Select executions per access path, keyed "scan",
+	// "posting", "gallop", "range", "bitmap".
+	Paths map[string]int64 `json:"paths,omitempty"`
+}
+
+// HitRate returns Hits / (Hits + Misses), 0 when nothing was planned.
+func (ps PlanStats) HitRate() float64 {
+	total := ps.Hits + ps.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(ps.Hits) / float64(total)
+}
+
+// stats snapshots the cache's counters.
+func (c *planCache) stats() PlanStats {
+	ps := PlanStats{
+		Shapes: len(*c.snap.Load()),
+		Hits:   c.hits.Load(),
+		Misses: c.misses.Load(),
+		Paths:  make(map[string]int64, numPaths),
+	}
+	for i, name := range pathNames {
+		if v := c.paths[i].Load(); v != 0 {
+			ps.Paths[name] = v
+		}
+	}
+	return ps
+}
+
+// merge accumulates o into ps (the Sharded aggregation).
+func (ps *PlanStats) merge(o PlanStats) {
+	ps.Shapes += o.Shapes
+	ps.Hits += o.Hits
+	ps.Misses += o.Misses
+	if ps.Paths == nil {
+		ps.Paths = make(map[string]int64, numPaths)
+	}
+	for k, v := range o.Paths {
+		ps.Paths[k] += v
+	}
+}

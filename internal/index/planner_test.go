@@ -1,0 +1,537 @@
+package index
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"hidb/internal/datagen"
+	"hidb/internal/dataspace"
+	"hidb/internal/simrand"
+)
+
+// tierStore builds a Store over one scale-tier dataset. The 10k tier is
+// above bitmapMinTuples, so every low-cardinality categorical attribute
+// carries a bitmap index.
+func tierStore(t *testing.T, p datagen.Pattern, seed uint64) *Store {
+	t.Helper()
+	d := datagen.Tiered(p, datagen.Tier10K, seed)
+	s, err := New(d.Schema, d.Tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// tierQuery draws a random query over the tier schema, spanning arities 0–6
+// and occasionally aiming at the pathological needle conjunction.
+func tierQuery(sch *dataspace.Schema, rng *simrand.RNG, n int) dataspace.Query {
+	q := dataspace.UniverseQuery(sch)
+	needle := rng.Bool(0.25)
+	for i := 0; i < 3; i++ {
+		if needle {
+			q = q.WithValue(i, datagen.PathoNeedle)
+		} else if rng.Bool(0.5) {
+			q = q.WithValue(i, rng.IntRange(1, 32))
+		}
+	}
+	if rng.Bool(0.3) {
+		q = q.WithValue(3, rng.IntRange(1, 1024))
+	}
+	if rng.Bool(0.4) {
+		lo := rng.IntRange(0, int64(n-1))
+		q = q.WithRange(4, lo, lo+rng.IntRange(0, int64(n/4)))
+	}
+	if rng.Bool(0.3) {
+		lo := rng.IntRange(0, 1<<20)
+		q = q.WithRange(5, lo, lo+rng.IntRange(0, 1<<18))
+	}
+	return q
+}
+
+func sameTuples(a, b []dataspace.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// forceBitmapPlan builds the bitmap plan for the query's predicates the way
+// planPath would, regardless of cost. ok=false when fewer than two bound
+// equality predicates carry bitmap indexes.
+func forceBitmapPlan(s *Store, preds []dataspace.Pred) (*cachedPlan, bool) {
+	var attrs []int8
+	var skip uint64
+	bound := 0
+	for i := range preds {
+		p := &preds[i]
+		if s.isCat[i] {
+			if p.Wild {
+				continue
+			}
+			bound++
+			if s.bitmaps[i] != nil {
+				attrs = append(attrs, int8(i))
+				skip |= 1 << uint(i)
+			}
+		} else if p.Lo != dataspace.NegInf || p.Hi != dataspace.PosInf {
+			bound++
+		}
+	}
+	if len(attrs) < 2 {
+		return nil, false
+	}
+	return &cachedPlan{
+		path: pathBitmap, primary: -1, secondary: -1,
+		bitmapAttrs: attrs, bitmapSkip: skip, exact: bound == len(attrs),
+	}, true
+}
+
+// v1Select dispatches the v1 planner's plan the way the old Select did —
+// the reference implementation the bitmap and chunked-scan paths must match.
+func v1Select(s *Store, preds []dataspace.Pred, pl plan, want int) []dataspace.Tuple {
+	if s.isCat[pl.primary] {
+		if pl.secondary >= 0 && s.isCat[pl.secondary] && useGallop(len(pl.secList), len(s.byRank)) {
+			return s.selectGallop(preds, pl, want)
+		}
+		return s.selectPosting(preds, pl, want)
+	}
+	return s.selectRange(preds, pl, want)
+}
+
+// TestAccessPathsAgreeAcrossPatterns is the planner-v2 oracle: on every
+// generator pattern, for random queries of every arity, the chunked scan,
+// the posting/gallop/range family, and the bitmap path must all return
+// exactly the naive reference answer — same tuples, same order.
+func TestAccessPathsAgreeAcrossPatterns(t *testing.T) {
+	for _, p := range datagen.Patterns {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			s := tierStore(t, p, 11)
+			n := s.Size()
+			rng := simrand.New(uint64(p) + 101)
+			bitmapQueries := 0
+			for trial := 0; trial < 150; trial++ {
+				q := tierQuery(s.Schema(), rng, n)
+				preds := q.Preds()
+				for _, limit := range []int{0, 9, 64} {
+					want := limit + 1
+					expect := naive(s, q, want)
+					if got := s.Select(q, limit); !sameTuples(got, expect) {
+						t.Fatalf("trial %d limit %d: Select diverges from naive on %s", trial, limit, q)
+					}
+					if got := s.selectScan(preds, want); !sameTuples(got, expect) {
+						t.Fatalf("trial %d limit %d: chunked scan diverges from naive on %s", trial, limit, q)
+					}
+					if pl := s.choosePlan(preds, n); pl.primary >= 0 {
+						if got := v1Select(s, preds, pl, want); !sameTuples(got, expect) {
+							t.Fatalf("trial %d limit %d: v1 %v path diverges from naive on %s",
+								trial, limit, pl.primary, q)
+						}
+					}
+					if cp, ok := forceBitmapPlan(s, preds); ok {
+						bitmapQueries++
+						if got := s.selectBitmap(cp, preds, want); !sameTuples(got, expect) {
+							t.Fatalf("trial %d limit %d: bitmap path diverges from naive on %s", trial, limit, q)
+						}
+					}
+				}
+			}
+			if bitmapQueries == 0 {
+				t.Fatal("no trial exercised the bitmap path; query generator is broken")
+			}
+		})
+	}
+}
+
+// TestAccessPathsAgreeUnderGallop re-runs the oracle with the column-cache
+// threshold lowered so the v2 executor routes posting ∩ posting through the
+// galloping merge, which test-sized stores never trigger by default.
+func TestAccessPathsAgreeUnderGallop(t *testing.T) {
+	defer func(v int) { colCacheTuples = v }(colCacheTuples)
+	colCacheTuples = 0
+	s := tierStore(t, datagen.PatternRandom, 13)
+	rng := simrand.New(14)
+	for trial := 0; trial < 150; trial++ {
+		q := tierQuery(s.Schema(), rng, s.Size())
+		got := s.Select(q, 64)
+		if !sameTuples(got, naive(s, q, 65)) {
+			t.Fatalf("trial %d: Select diverges from naive with gallop forced on %s", trial, q)
+		}
+	}
+	if s.PlanStats().Paths["gallop"] == 0 {
+		t.Log("no query routed through gallop; acceptable but unexpected")
+	}
+}
+
+// TestCountMatchesNaiveAcrossPatterns checks Count — including the bitmap
+// popcount fast path — against a full scan on every pattern.
+func TestCountMatchesNaiveAcrossPatterns(t *testing.T) {
+	for _, p := range datagen.Patterns {
+		s := tierStore(t, p, 17)
+		rng := simrand.New(uint64(p) + 23)
+		for trial := 0; trial < 100; trial++ {
+			q := tierQuery(s.Schema(), rng, s.Size())
+			want := 0
+			for _, tu := range s.All() {
+				if q.Covers(tu) {
+					want++
+				}
+			}
+			if got := s.Count(q); got != want {
+				t.Fatalf("%v trial %d: Count = %d, want %d on %s", p, trial, got, want, q)
+			}
+		}
+	}
+}
+
+// TestPlanCacheCounters pins the cache's observable arithmetic: one miss
+// per new shape, hits for every repeat, per-path counts summing to the
+// Select count.
+func TestPlanCacheCounters(t *testing.T) {
+	s := tierStore(t, datagen.PatternRandom, 19)
+	rng := simrand.New(20)
+	sch := s.Schema()
+	const repeats = 50
+	// One shape: C1 = v, varying v.
+	for i := 0; i < repeats; i++ {
+		s.Select(dataspace.UniverseQuery(sch).WithValue(0, rng.IntRange(1, 32)), 64)
+	}
+	ps := s.PlanStats()
+	if ps.Shapes != 1 || ps.Misses != 1 || ps.Hits != repeats-1 {
+		t.Fatalf("after %d same-shape selects: shapes=%d hits=%d misses=%d, want 1/%d/1",
+			repeats, ps.Shapes, ps.Hits, ps.Misses, repeats-1)
+	}
+	// A second shape: C1 = v ∧ C2 = w.
+	s.Select(dataspace.UniverseQuery(sch).WithValue(0, 1).WithValue(1, 2), 64)
+	ps = s.PlanStats()
+	if ps.Shapes != 2 || ps.Misses != 2 {
+		t.Fatalf("after a second shape: shapes=%d misses=%d, want 2/2", ps.Shapes, ps.Misses)
+	}
+	var pathTotal int64
+	for _, v := range ps.Paths {
+		pathTotal += v
+	}
+	if pathTotal != repeats+1 {
+		t.Fatalf("path counts sum to %d, want %d", pathTotal, repeats+1)
+	}
+	if hr := ps.HitRate(); hr <= 0.9 {
+		t.Fatalf("hit rate %.3f, want > 0.9", hr)
+	}
+	if (PlanStats{}).HitRate() != 0 {
+		t.Fatal("empty PlanStats should have hit rate 0")
+	}
+}
+
+// TestPlanCacheCap verifies the cache stops growing at planCacheCap and
+// keeps answering correctly (over-cap shapes just re-plan).
+func TestPlanCacheCap(t *testing.T) {
+	defer func(v int) { planCacheCap = v }(planCacheCap)
+	planCacheCap = 2
+	s := tierStore(t, datagen.PatternRandom, 29)
+	sch := s.Schema()
+	queries := []dataspace.Query{
+		dataspace.UniverseQuery(sch).WithValue(0, 3),
+		dataspace.UniverseQuery(sch).WithValue(1, 4),
+		dataspace.UniverseQuery(sch).WithValue(2, 5),
+		dataspace.UniverseQuery(sch).WithValue(3, 6),
+	}
+	for _, q := range queries {
+		for i := 0; i < 3; i++ {
+			if !sameTuples(s.Select(q, 64), naive(s, q, 65)) {
+				t.Fatalf("over-cap query diverges from naive: %s", q)
+			}
+		}
+	}
+	if ps := s.PlanStats(); ps.Shapes != 2 {
+		t.Fatalf("capped cache holds %d shapes, want 2", ps.Shapes)
+	}
+}
+
+// TestPlanCacheConcurrent hammers one store from many goroutines with a
+// mixed shape workload. Run under -race this is the lock-freedom proof for
+// the copy-on-write cache; the result check keeps it honest.
+func TestPlanCacheConcurrent(t *testing.T) {
+	s := tierStore(t, datagen.PatternRealistic, 31)
+	const workers, perWorker = 8, 100
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := simrand.New(uint64(w) + 41)
+			for i := 0; i < perWorker; i++ {
+				q := tierQuery(s.Schema(), rng, s.Size())
+				if !sameTuples(s.Select(q, 64), naive(s, q, 65)) {
+					errs <- fmt.Errorf("worker %d: Select diverges from naive on %s", w, q)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	ps := s.PlanStats()
+	if ps.Hits+ps.Misses != workers*perWorker {
+		t.Fatalf("hits+misses = %d, want %d", ps.Hits+ps.Misses, workers*perWorker)
+	}
+}
+
+// TestShapeKey pins the shape-key packing: values never matter, predicate
+// kinds always do, and schemas beyond 32 attributes opt out.
+func TestShapeKey(t *testing.T) {
+	isCat := []bool{true, true, false, false}
+	u := func() []dataspace.Pred {
+		return []dataspace.Pred{
+			{Wild: true}, {Wild: true},
+			{Lo: dataspace.NegInf, Hi: dataspace.PosInf},
+			{Lo: dataspace.NegInf, Hi: dataspace.PosInf},
+		}
+	}
+	base, ok := shapeKey(isCat, u())
+	if !ok {
+		t.Fatal("4-dim shape key should pack")
+	}
+	// Same shape, different values → same key.
+	a := u()
+	a[0] = dataspace.Pred{Value: 3}
+	a[2] = dataspace.Pred{Lo: 5, Hi: 10}
+	b := u()
+	b[0] = dataspace.Pred{Value: 9}
+	b[2] = dataspace.Pred{Lo: -50, Hi: 4000}
+	ka, _ := shapeKey(isCat, a)
+	kb, _ := shapeKey(isCat, b)
+	if ka != kb {
+		t.Fatalf("same shape hashed differently: %x vs %x", ka, kb)
+	}
+	if ka == base {
+		t.Fatal("bound shape collides with the universe shape")
+	}
+	// Point range vs proper range vs unbounded are distinct shapes.
+	c := u()
+	c[2] = dataspace.Pred{Lo: 7, Hi: 7}
+	kc, _ := shapeKey(isCat, c)
+	d := u()
+	d[2] = dataspace.Pred{Lo: 7, Hi: 8}
+	kd, _ := shapeKey(isCat, d)
+	if kc == kd || kc == base || kd == base {
+		t.Fatalf("numeric shapes collide: point=%x range=%x free=%x", kc, kd, base)
+	}
+	// 33 attributes cannot pack.
+	wide := make([]dataspace.Pred, 33)
+	if _, ok := shapeKey(make([]bool, 33), wide); ok {
+		t.Fatal("33-dim shape key should not pack")
+	}
+}
+
+// TestWideSchemaUncached verifies a store wider than the shape key still
+// answers correctly, planning every query (all misses, no cached shapes).
+func TestWideSchemaUncached(t *testing.T) {
+	attrs := make([]dataspace.Attribute, 33)
+	for i := range attrs {
+		attrs[i] = dataspace.Attribute{
+			Name: fmt.Sprintf("C%d", i+1), Kind: dataspace.Categorical, DomainSize: 4,
+		}
+	}
+	sch := dataspace.MustSchema(attrs)
+	rng := simrand.New(43)
+	tuples := make([]dataspace.Tuple, 500)
+	for i := range tuples {
+		tu := make(dataspace.Tuple, 33)
+		for j := range tu {
+			tu[j] = rng.IntRange(1, 4)
+		}
+		tuples[i] = tu
+	}
+	s, err := New(sch, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		q := dataspace.UniverseQuery(sch)
+		for j := 0; j < 33; j++ {
+			if rng.Bool(0.2) {
+				q = q.WithValue(j, rng.IntRange(1, 4))
+			}
+		}
+		if !sameTuples(s.Select(q, 10), naive(s, q, 11)) {
+			t.Fatalf("trial %d: wide-schema Select diverges from naive", trial)
+		}
+	}
+	ps := s.PlanStats()
+	if ps.Shapes != 0 || ps.Hits != 0 || ps.Misses != 30 {
+		t.Fatalf("wide schema: shapes=%d hits=%d misses=%d, want 0/0/30",
+			ps.Shapes, ps.Hits, ps.Misses)
+	}
+}
+
+// TestShardedSharesStatsKeepsPlans pins the Sharded contract: one shared
+// selectivity sample, independent per-shard plan caches, aggregated
+// PlanStats.
+func TestShardedSharesStatsKeepsPlans(t *testing.T) {
+	d := datagen.Tiered(datagen.PatternRandom, datagen.Tier10K, 47)
+	sh, err := NewSharded(d.Schema, d.Tuples, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(sh.shards); i++ {
+		if sh.shards[i].stats != sh.shards[0].stats {
+			t.Fatal("shards should share one SelStats instance")
+		}
+	}
+	if got := sh.shards[0].stats.SampleSize(); got != statsSampleMax {
+		t.Fatalf("shared sample size = %d, want %d", got, statsSampleMax)
+	}
+	rng := simrand.New(48)
+	for i := 0; i < 40; i++ {
+		q := tierQuery(d.Schema, rng, len(d.Tuples))
+		got := sh.Select(q, 64)
+		single, err := New(d.Schema, d.Tuples)
+		_ = err
+		if !sameTuples(got, naive(single, q, 65)) {
+			t.Fatalf("sharded Select diverges from naive on %s", q)
+		}
+	}
+	ps := sh.PlanStats()
+	if ps.Hits+ps.Misses == 0 {
+		t.Fatal("sharded PlanStats should aggregate shard counters")
+	}
+}
+
+// TestSelStats sanity-checks the sampled statistics themselves.
+func TestSelStats(t *testing.T) {
+	d := datagen.Tiered(datagen.PatternRandom, datagen.Tier10K, 53)
+	s, err := New(d.Schema, d.Tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.SampleSize() != statsSampleMax {
+		t.Fatalf("sample size = %d, want %d", st.SampleSize(), statsSampleMax)
+	}
+	sch := d.Schema
+	uni := dataspace.UniverseQuery(sch)
+	if sel := st.jointSel(uni.Preds()); sel != 1 {
+		t.Fatalf("universe selectivity = %v, want 1", sel)
+	}
+	// A value outside the generated domain: floored, never zero.
+	impossible := uni.WithValue(0, 31337)
+	if sel := st.jointSel(impossible.Preds()); sel <= 0 || sel > 1.0/float64(statsSampleMax) {
+		t.Fatalf("impossible-predicate selectivity = %v, want the 0.5/S floor", sel)
+	}
+	// Uniform 32-way categorical: second moment near 1/32.
+	if es := st.EqSel(0); es < 0.01 || es > 0.1 {
+		t.Fatalf("EqSel(C1) = %v, want ≈ 1/32", es)
+	}
+	if es := st.EqSel(4); es != 0 {
+		t.Fatalf("EqSel(numeric) = %v, want 0", es)
+	}
+	// Empty store: selectivity defaults to 1, nothing divides by zero.
+	empty, err := New(d.Schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel := empty.Stats().jointSel(uni.Preds()); sel != 1 {
+		t.Fatalf("empty-store selectivity = %v, want 1", sel)
+	}
+	if got := empty.Select(uni, 5); len(got) != 0 {
+		t.Fatalf("empty-store Select returned %d tuples", len(got))
+	}
+}
+
+// TestSelectAllocsSteadyState pins the one-allocation Select contract on
+// every access path: once the plan is cached and the scratch pools are
+// warm, a Select allocates exactly its result slice.
+func TestSelectAllocsSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items nondeterministically under -race")
+	}
+	s := tierStore(t, datagen.PatternPathological, 67)
+	sch := s.Schema()
+	needle := dataspace.UniverseQuery(sch).
+		WithValue(0, datagen.PathoNeedle).
+		WithValue(1, datagen.PathoNeedle).
+		WithValue(2, datagen.PathoNeedle)
+	cases := []struct {
+		name string
+		q    dataspace.Query
+	}{
+		{"scan", dataspace.UniverseQuery(sch)},
+		{"posting", dataspace.UniverseQuery(sch).WithValue(3, 7)},
+		{"range", dataspace.UniverseQuery(sch).WithRange(4, 100, 3000).WithValue(0, 2)},
+		{"bitmap", needle},
+	}
+	for _, tc := range cases {
+		q := tc.q
+		s.Select(q, 64) // plan + pool warmup before measuring
+		allocs := testing.AllocsPerRun(100, func() {
+			s.Select(q, 64)
+		})
+		if allocs > 1 {
+			t.Errorf("%s path: %.1f allocs per Select, want <= 1", tc.name, allocs)
+		}
+	}
+	if allocs := testing.AllocsPerRun(100, func() { s.Count(needle) }); allocs > 0 {
+		t.Errorf("Count: %.1f allocs, want 0", allocs)
+	}
+}
+
+// TestPlannerPicksBitmapForNeedle pins the cost model's headline decision:
+// the pathological 3-way intersection must route to the bitmap path (and a
+// broad single equality must not).
+func TestPlannerPicksBitmapForNeedle(t *testing.T) {
+	s := tierStore(t, datagen.PatternPathological, 71)
+	sch := s.Schema()
+	needle := dataspace.UniverseQuery(sch).
+		WithValue(0, datagen.PathoNeedle).
+		WithValue(1, datagen.PathoNeedle).
+		WithValue(2, datagen.PathoNeedle)
+	s.Select(needle, 64)
+	if ps := s.PlanStats(); ps.Paths["bitmap"] != 1 {
+		t.Fatalf("needle conjunction executed paths %v, want the bitmap path", ps.Paths)
+	}
+	broad := dataspace.UniverseQuery(sch).WithValue(0, datagen.PathoNeedle)
+	s.Select(broad, 64)
+	if ps := s.PlanStats(); ps.Paths["bitmap"] != 1 {
+		t.Fatalf("broad single equality should not use the bitmap path: %v", ps.Paths)
+	}
+}
+
+// TestBitmapGatesRespected checks the build-time gating: small stores and
+// wide-domain attributes must not pay for bitmap indexes.
+func TestBitmapGatesRespected(t *testing.T) {
+	d := datagen.Tiered(datagen.PatternRandom, datagen.Tier10K, 59)
+	s, err := New(d.Schema, d.Tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if s.bitmaps[i] == nil {
+			t.Fatalf("C%d (domain 32) should carry a bitmap index at 10k tuples", i+1)
+		}
+	}
+	if s.bitmaps[3] != nil {
+		t.Fatal("C4 (domain 1024) must not carry a bitmap index")
+	}
+	if s.bitmaps[4] != nil || s.bitmaps[5] != nil {
+		t.Fatal("numeric attributes must not carry bitmap indexes")
+	}
+	small, err := New(d.Schema, d.Tuples[:1000])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range small.bitmaps {
+		if small.bitmaps[i] != nil {
+			t.Fatalf("a 1000-tuple store should build no bitmap indexes (attr %d)", i)
+		}
+	}
+}

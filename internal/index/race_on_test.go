@@ -1,0 +1,8 @@
+//go:build race
+
+package index
+
+// raceEnabled gates tests whose invariants the race detector breaks by
+// design (sync.Pool deliberately drops items under -race, so pooled paths
+// allocate nondeterministically).
+const raceEnabled = true

@@ -38,6 +38,9 @@ type Engine interface {
 	Schema() *dataspace.Schema
 	// All returns the tuples in priority order (shared storage, read-only).
 	All() []dataspace.Tuple
+	// PlanStats returns the planner's cumulative counters: cached shapes,
+	// plan-cache hits/misses, and per-access-path Select execution counts.
+	PlanStats() PlanStats
 }
 
 var (
@@ -70,16 +73,37 @@ func NewSharded(schema *dataspace.Schema, byRank []dataspace.Tuple, shards int) 
 	if n == 0 {
 		shards = 1
 	}
+	if schema == nil {
+		return nil, fmt.Errorf("index: nil schema")
+	}
+	// One selectivity sample over the whole relation, shared by every
+	// shard: selectivity is a property of the data shape, not of any one
+	// priority band, and a full-relation sample is strictly better than
+	// per-shard ones. Plan caches stay per-shard — each shard's posting
+	// lists have their own sizes, so shards may legitimately pick
+	// different paths for the same shape.
+	stats := buildSelStats(schema, byRank)
 	s := &Sharded{schema: schema, byRank: byRank, shards: make([]*Store, 0, shards)}
 	for i := 0; i < shards; i++ {
 		lo, hi := i*n/shards, (i+1)*n/shards
-		st, err := New(schema, byRank[lo:hi])
+		st, err := newWithStats(schema, byRank[lo:hi], stats)
 		if err != nil {
 			return nil, fmt.Errorf("index: shard %d (ranks [%d,%d)): %w", i, lo, hi, err)
 		}
 		s.shards = append(s.shards, st)
 	}
 	return s, nil
+}
+
+// PlanStats aggregates the per-shard planner counters. Shapes counts
+// cached (shard, shape) pairs, so it can exceed the number of distinct
+// query shapes the store has seen.
+func (s *Sharded) PlanStats() PlanStats {
+	var ps PlanStats
+	for _, sh := range s.shards {
+		ps.merge(sh.PlanStats())
+	}
+	return ps
 }
 
 // NumShards returns the number of priority-range partitions.

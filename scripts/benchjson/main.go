@@ -9,7 +9,9 @@
 // every custom "*_queries" metric — the paper's cost measure, which must be
 // bit-stable across engine changes — has to match the baseline exactly, or
 // the command fails listing the drift. Perf metrics (ns/op, B/op) are
-// expected to move and are not compared.
+// expected to move and are not compared. Benchmarks present only in the
+// fresh snapshot (a PR's new microbenchmarks) are announced rather than
+// silently skipped; baseline cost metrics absent from the fresh run warn.
 //
 // Usage:
 //
@@ -111,9 +113,14 @@ func compareQueries(benches []Benchmark, path string) error {
 		fresh[b.Name] = b.Metrics
 	}
 	compared, drifted, missing := 0, 0, 0
+	var newOnly []string
 	for _, b := range benches {
 		old, ok := base[b.Name]
 		if !ok {
+			// A benchmark with no baseline counterpart is expected when a PR
+			// introduces new microbenchmarks; it is announced (never compared,
+			// never failed) so the next baseline bump is a conscious step.
+			newOnly = append(newOnly, b.Name)
 			continue
 		}
 		for unit, v := range b.Metrics {
@@ -150,6 +157,10 @@ func compareQueries(benches []Benchmark, path string) error {
 				fmt.Fprintf(os.Stderr, "benchjson: warning: baseline metric %s %s absent from this run\n", name, unit)
 			}
 		}
+	}
+	if len(newOnly) > 0 {
+		fmt.Printf("benchjson: %d benchmarks new in this snapshot (no baseline entry): %s\n",
+			len(newOnly), strings.Join(newOnly, ", "))
 	}
 	if drifted > 0 {
 		return fmt.Errorf("%d of %d query-count metrics drifted from %s", drifted, compared, path)

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkSelect3WayIntersect1M-8   	       5	     46224 ns/op	    1792 B/op	       1 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line not parsed")
+	}
+	if b.Name != "BenchmarkSelect3WayIntersect1M" {
+		t.Errorf("name %q: -GOMAXPROCS suffix should be stripped", b.Name)
+	}
+	if b.Iterations != 5 {
+		t.Errorf("iterations = %d, want 5", b.Iterations)
+	}
+	if b.Metrics["ns/op"] != 46224 || b.Metrics["allocs/op"] != 1 {
+		t.Errorf("metrics = %v", b.Metrics)
+	}
+
+	// Custom figure metrics ride as extra (value, unit) pairs.
+	b, ok = parseLine("BenchmarkFigure9-8   1   100 ns/op   5417 yahoo_1000_queries")
+	if !ok || b.Metrics["yahoo_1000_queries"] != 5417 {
+		t.Errorf("custom metric lost: ok=%v metrics=%v", ok, b.Metrics)
+	}
+
+	for _, line := range []string{
+		"PASS",
+		"ok  	hidb	1.2s",
+		"goos: linux",
+		"BenchmarkBroken-8 notanumber 5 ns/op",
+		"BenchmarkTooShort 1",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("line %q should not parse as a benchmark", line)
+		}
+	}
+}
+
+// writeBaseline marshals benchmarks into a snapshot file compareQueries
+// can read back.
+func writeBaseline(t *testing.T, dir string, benches []Benchmark) string {
+	t.Helper()
+	data, err := json.Marshal(map[string]any{"benchmarks": benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "baseline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareQueries(t *testing.T) {
+	base := []Benchmark{
+		{Name: "BenchmarkFig", Metrics: map[string]float64{
+			"a_queries": 100, "b_queries": 200, "ns/op": 5,
+		}},
+	}
+	path := writeBaseline(t, t.TempDir(), base)
+
+	// Identical cost metrics pass; ns/op drift is ignored.
+	fresh := []Benchmark{
+		{Name: "BenchmarkFig", Metrics: map[string]float64{
+			"a_queries": 100, "b_queries": 200, "ns/op": 9999,
+		}},
+	}
+	if err := compareQueries(fresh, path); err != nil {
+		t.Errorf("identical cost metrics should pass: %v", err)
+	}
+
+	// A drifted *_queries metric fails.
+	fresh[0].Metrics["a_queries"] = 101
+	if err := compareQueries(fresh, path); err == nil {
+		t.Error("drifted cost metric should fail the comparison")
+	}
+	fresh[0].Metrics["a_queries"] = 100
+
+	// Benchmarks only in the fresh snapshot are tolerated: a PR may add
+	// microbenchmarks with no baseline counterpart.
+	fresh = append(fresh, Benchmark{
+		Name:    "BenchmarkNewIndexPath",
+		Metrics: map[string]float64{"ns/op": 1, "new_queries": 7},
+	})
+	if err := compareQueries(fresh, path); err != nil {
+		t.Errorf("new-snapshot-only benchmark should not fail: %v", err)
+	}
+
+	// A baseline cost metric missing from the fresh run warns but passes.
+	delete(fresh[0].Metrics, "b_queries")
+	if err := compareQueries(fresh, path); err != nil {
+		t.Errorf("missing baseline metric should warn, not fail: %v", err)
+	}
+
+	// A missing baseline file skips the comparison entirely.
+	if err := compareQueries(fresh, filepath.Join(t.TempDir(), "absent.json")); err != nil {
+		t.Errorf("absent baseline should skip: %v", err)
+	}
+}
