@@ -33,8 +33,13 @@ func reportFigure(b *testing.B, fig *experiments.Figure, err error) {
 	}
 	for _, s := range fig.Series {
 		unit := "queries"
-		if strings.HasSuffix(s.Label, "-ms") {
+		switch {
+		case strings.HasSuffix(s.Label, "-ms"):
 			unit = "ms"
+		case strings.HasSuffix(s.Label, "-hitrate"):
+			// Deterministic ratios (the fleet ablation's hit rate): pinned
+			// bit-identical by benchjson alongside the _queries metrics.
+			unit = "hitrate"
 		}
 		for i, v := range s.Values {
 			name := fmt.Sprintf("%s_%s=%v_%s", s.Label, fig.XLabel, fig.X[i], unit)
@@ -189,6 +194,15 @@ func BenchmarkAblationParallel(b *testing.B) {
 	var err error
 	for i := 0; i < b.N; i++ {
 		fig, err = experiments.AblationParallel(benchConfig(), 2*time.Millisecond)
+	}
+	reportFigure(b, fig, err)
+}
+
+func BenchmarkAblationFleet(b *testing.B) {
+	var fig *experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiments.AblationFleet(benchConfig())
 	}
 	reportFigure(b, fig, err)
 }

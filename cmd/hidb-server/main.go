@@ -33,6 +33,16 @@
 // already-paid queries replay for free. The global -quota is mutually
 // exclusive with session mode.
 //
+// -shared-cache free|charged (also enables sessions) adds the fleet-wide
+// shared answer tier under every session's stack: the first token to issue
+// a query pays for it and the answer serves the whole fleet, with
+// concurrent askers blocking on the in-flight fetch instead of re-issuing
+// it. Under free a shared hit costs the asker nothing (M crawlers of one
+// store at ~1x total cost); under charged it saves the store's work but is
+// still debited, preserving the paper's per-client accounting.
+// -shared-cache-bytes bounds the tier's memory with LRU eviction. The
+// default, off, is paper mode: bit-identical per-client costs.
+//
 // -max-inflight N sheds query-carrying requests beyond N concurrent with
 // 503 + Retry-After instead of queueing them, and makes a full session
 // table turn new tokens away rather than evict an established client's
@@ -101,18 +111,25 @@ func main() {
 	sessionTTL := flag.Duration("session-ttl", 0, "idle session expiry — the budget window (0 = never; enables sessions)")
 	journalDir := flag.String("journal-dir", "", "persist each session's journal here on eviction/shutdown, reload on reconnect (enables sessions)")
 	maxSessions := flag.Int("max-sessions", 0, "live session cap, LRU-evicted beyond it (0 = default)")
+	sharedCache := flag.String("shared-cache", "off", "fleet-wide shared answer cache: off (paper mode), free (a hit another token paid for costs the asker nothing), or charged (a hit saves the store's work but is still debited); enables sessions")
+	sharedCacheBytes := flag.Int64("shared-cache-bytes", 0, "bound the shared cache's resident size, LRU-evicted beyond it (0 = unbounded)")
 	maxInFlight := flag.Int("max-inflight", 0, "shed query-carrying requests beyond this concurrency with 503 + Retry-After (0 = unbounded; any value enables shedding: a full session table turns new tokens away instead of evicting)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long a SIGINT/SIGTERM shutdown waits for in-flight requests to finish")
 	flag.Parse()
 
-	sessions := *quotaPerClient > 0 || *ratePerClient > 0 || *sessionTTL > 0 || *journalDir != "" || *maxSessions > 0
+	sharedPolicy, err := hidb.ParseSharedCachePolicy(*sharedCache)
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+	sessions := *quotaPerClient > 0 || *ratePerClient > 0 || *sessionTTL > 0 || *journalDir != "" || *maxSessions > 0 ||
+		sharedPolicy != hidb.SharedCacheOff
 	if sessions && *quota > 0 {
 		log.Print("-quota is the sessionless global budget; with sessions use -quota-per-client")
 		os.Exit(2)
 	}
 
 	var ds *datagen.Dataset
-	var err error
 	if *file != "" {
 		ds, err = loadFile(*file)
 	} else {
@@ -136,12 +153,14 @@ func main() {
 	var opts []httpserver.Option
 	if sessions {
 		opts = append(opts, httpserver.WithSessions(session.Config{
-			Quota:         *quotaPerClient,
-			RatePerSecond: *ratePerClient,
-			RateBurst:     *rateBurst,
-			TTL:           *sessionTTL,
-			MaxSessions:   *maxSessions,
-			JournalDir:    *journalDir,
+			Quota:            *quotaPerClient,
+			RatePerSecond:    *ratePerClient,
+			RateBurst:        *rateBurst,
+			TTL:              *sessionTTL,
+			MaxSessions:      *maxSessions,
+			JournalDir:       *journalDir,
+			SharedCache:      sharedPolicy,
+			SharedCacheBytes: *sharedCacheBytes,
 		}))
 	} else if *quota > 0 {
 		opts = append(opts, httpserver.WithQuota(*quota))

@@ -122,6 +122,36 @@
 // Session journals persist crash-safely (write-temp-then-rename, per-record
 // checksums); a file torn by a crash mid-persist recovers its longest valid
 // prefix, so at most the unflushed tail is ever re-paid.
+//
+// # Fleet mode
+//
+// The paper's cost model is per-client, so M clients crawling the same
+// hidden store pay M times for identical knowledge. Fleet mode —
+// SessionConfig.SharedCache, or hidb-server's -shared-cache flag — adds
+// one shared answer tier under every session's private stack: the first
+// token to issue a query leads (pays through its own quota and counter,
+// populates the tier) while concurrent askers of the same query block on
+// the in-flight fetch and read the leader's answer without re-issuing it.
+// Because the single-flight is per query, a follower crawling alongside a
+// leader streams the still-growing extraction incrementally — it waits at
+// most one query's latency at a time, never for the whole crawl.
+//
+// What a shared answer costs the asker is the policy: under
+// SharedCacheFree, hits and waits bypass the asker's quota and counter
+// entirely — M crawlers of one store at ~1x total paid cost; under
+// SharedCacheCharged, the tier sits below the counter, so a hit saves the
+// store's work but is still counted and debited, preserving the paper's
+// per-client accounting. The default SharedCacheOff builds exactly the
+// per-session stack documented above — paper-mode costs, bit for bit.
+//
+// Resume behaviour is unchanged in every mode: each session's journal
+// records the answers that session saw (however they were obtained), so a
+// follower that disconnects replays its own journal for free and re-reads
+// anything else from the shared tier. Failure is safe by construction — a
+// leader whose crawl is cancelled, whose budget runs dry, or whose session
+// is evicted mid-fetch hands leadership to a waiting follower (which pays
+// on its own budget) instead of orphaning it, and eviction never discards
+// the tier: answers any token led keep serving the fleet.
 package hidb
 
 import (
@@ -318,9 +348,34 @@ func NewHTTPHandler(srv Server, quota int) http.Handler {
 
 // SessionConfig tunes per-client HTTP sessions: each API token's query
 // budget, its sustained queries-per-second rate limit, the TTL of the
-// budget window, the live-session cap, and the directory journals persist
-// to across evictions (see the session package).
+// budget window, the live-session cap, the directory journals persist
+// to across evictions, and the fleet-wide shared answer cache (see the
+// session package and the package doc's fleet-mode section).
 type SessionConfig = session.Config
+
+// SharedCachePolicy selects whether and how a session table's fleet-wide
+// shared answer tier participates in each session's stack (see the
+// package doc's fleet-mode section).
+type SharedCachePolicy = hiddendb.SharedCachePolicy
+
+// Shared-cache policies.
+const (
+	// SharedCacheOff is paper mode (the default): no shared tier, every
+	// client pays its full query count, accounting bit-identical.
+	SharedCacheOff = hiddendb.SharedOff
+	// SharedCacheFree serves shared hits free of the asker's quota and
+	// counter: only the leading token pays the store.
+	SharedCacheFree = hiddendb.SharedFree
+	// SharedCacheCharged serves shared hits from the cache but still
+	// debits the asker, preserving the paper's per-client accounting.
+	SharedCacheCharged = hiddendb.SharedCharged
+)
+
+// ParseSharedCachePolicy parses "off", "free" or "charged" — the
+// spellings of hidb-server's -shared-cache flag.
+func ParseSharedCachePolicy(s string) (SharedCachePolicy, error) {
+	return hiddendb.ParseSharedCachePolicy(s)
+}
 
 // NewSessionHTTPHandler exposes a Server over HTTP with per-client
 // sessions: every request resolves through the caller's token-keyed

@@ -1,0 +1,171 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"hidb/internal/datagen"
+	"hidb/internal/hiddendb"
+	"hidb/internal/httpclient"
+	"hidb/internal/httpserver"
+	"hidb/internal/session"
+)
+
+// TestChaosFleet is the fleet-mode resilience pass: a shared-cache server
+// (SharedFree policy) with one leader token and two followers crawling
+// concurrently. The leader's client crashes mid-crawl — its /crawl stream
+// is severed by a scripted body truncation — and a fresh client reconnects
+// with the same token, replaying the crash-safe journal and finishing the
+// crawl. The followers ride through a hostile transport (seeded drops and
+// 503s) on retrying clients the whole time. The server itself stays alive:
+// the shared tier is in-memory fleet state, and the point of the pass is
+// that client-side failure never perturbs fleet accounting.
+//
+// However the crash and the faults interleave with the pace-car tier, three
+// things must hold: every token's stitched crawl delivers the exact dataset
+// bag, the hidden store is charged exactly the fault-free solo reference
+// count (the tier dedups across tokens, the journal dedups across the
+// leader's two lives), and both the crash and the transport faults
+// demonstrably fired.
+func TestChaosFleet(t *testing.T) {
+	const k = 10
+	const algo = "hybrid"
+	spec := datagen.RandomSpec{N: 60, CatDomains: []int{4}, NumRanges: [][2]int64{{0, 500}}, DupRate: 0.05}
+	ds, err := datagen.Random(spec, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fault-free solo reference on an identical fresh store.
+	refLocal, err := hiddendb.NewLocal(ds.Schema, ds.Tuples, k, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCounting := hiddendb.NewCounting(refLocal)
+	refTS := httptest.NewServer(httpserver.New(refCounting, httpserver.WithSessions(session.Config{})))
+	refClient, err := httpclient.DialToken(context.Background(), refTS.URL, "solo", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := refClient.Crawl(context.Background(), algo, 0, nil)
+	refTS.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The fleet server: same data, same store seed, shared tier on, crash-
+	// safe journals on. It stays up for the whole test.
+	local, err := hiddendb.NewLocal(ds.Schema, ds.Tuples, k, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting := hiddendb.NewCounting(local)
+	h := httpserver.New(counting, httpserver.WithSessions(session.Config{
+		SharedCache: hiddendb.SharedFree,
+		JournalDir:  t.TempDir(),
+	}))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	const followers = 2
+	var wg sync.WaitGroup
+	errs := make([]error, 1+followers)
+	tr := New(nil)
+	tr.Seed(33, 0.15)
+
+	// Leader: its first crawl connection is severed mid-stream — the client
+	// process "crashes" — and a fresh client then attaches to the same token
+	// and finishes. The first life's journal replays on resume, so the
+	// second life re-earns the early answers for free and only pays for
+	// queries no one has led yet.
+	trLeader := New(nil)
+	trLeader.Script("/crawl",
+		Fault{Kind: TruncateBody, Byte: 400},
+		Fault{Kind: Pass},
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		leader, err := httpclient.DialToken(context.Background(), ts.URL, "leader",
+			&http.Client{Transport: trLeader})
+		if err != nil {
+			errs[0] = err
+			return
+		}
+		if _, err := leader.Crawl(context.Background(), algo, 0, nil); err == nil {
+			errs[0] = fmt.Errorf("leader crawl survived its own mid-stream crash")
+			return
+		}
+
+		reborn, err := httpclient.DialToken(context.Background(), ts.URL, "leader", nil)
+		if err != nil {
+			errs[0] = err
+			return
+		}
+		res, err := reborn.Crawl(context.Background(), algo, 0, nil)
+		if err != nil {
+			errs[0] = fmt.Errorf("resumed leader crawl: %w", err)
+			return
+		}
+		if !res.Tuples.EqualMultiset(ref.Tuples) {
+			errs[0] = fmt.Errorf("resumed leader crawl has %d tuples, reference %d", len(res.Tuples), len(ref.Tuples))
+		}
+	}()
+
+	// Followers: hostile transport, retrying clients, full crawls.
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			clock := hiddendb.NewSimClock()
+			c, err := httpclient.DialRetry(context.Background(), ts.URL,
+				fmt.Sprintf("follower-%d", i), &http.Client{Transport: tr},
+				httpclient.RetryPolicy{MaxAttempts: 10, Clock: clock})
+			if err != nil {
+				errs[1+i] = err
+				return
+			}
+			res, err := c.Crawl(context.Background(), algo, 0, nil)
+			if err != nil {
+				errs[1+i] = fmt.Errorf("follower %d crawl: %w (faults %v)", i, err, tr.Counts())
+				return
+			}
+			if !res.Tuples.EqualMultiset(ref.Tuples) {
+				errs[1+i] = fmt.Errorf("follower %d crawl has %d tuples, reference %d", i, len(res.Tuples), len(ref.Tuples))
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+
+	// The whole fleet — leader crash, journal resume, hostile followers —
+	// paid the store exactly one fault-free solo crawl.
+	if counting.Queries() != ref.Queries {
+		t.Errorf("hidden store charged %d queries, fault-free solo reference %d (faults %v)",
+			counting.Queries(), ref.Queries, tr.Counts())
+	}
+	sc := h.Sessions().SharedCache()
+	if sc == nil {
+		t.Fatal("fleet server has no shared tier")
+	}
+	if sc.Hits()+sc.Waits() == 0 {
+		t.Error("shared tier answered nothing; the fleet pass did not exercise it")
+	}
+	if sc.Leads() != ref.Queries {
+		t.Errorf("shared tier led %d queries, want the reference count %d", sc.Leads(), ref.Queries)
+	}
+	if trLeader.Faults() < 1 {
+		t.Errorf("the leader's mid-stream crash never fired")
+	}
+	if tr.Faults() < 1 {
+		t.Errorf("no follower transport faults fired; the pass was not hostile")
+	}
+}

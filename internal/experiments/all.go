@@ -61,6 +61,7 @@ func Report(w io.Writer, cfg Config, only map[string]bool, csv bool) error {
 			{"A3", AblationDependencyFilter},
 			{"A4", AblationAttributeOrder},
 			{"A5", func(c Config) (*Figure, error) { return AblationParallel(c, 2*time.Millisecond) }},
+			{"A6", AblationFleet},
 		} {
 			fig, err := f.fn(cfg)
 			if err != nil {

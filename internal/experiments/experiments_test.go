@@ -453,3 +453,31 @@ func TestAblationPrioritySeedsRuns(t *testing.T) {
 		t.Fatalf("priority-seed table has %d rows, want 3", tb.NumRows())
 	}
 }
+
+// TestAblationFleetShape: the fleet ablation's acceptance invariants at
+// test scale — the fleet pays the store exactly one solo crawl regardless
+// of size, the naive paper-mode cost grows linearly, and the measured hit
+// rate clears 0.9 from fleet size 8 up.
+func TestAblationFleetShape(t *testing.T) {
+	fig, err := AblationFleet(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	paid := seriesByLabel(t, fig, "fleet-paid")
+	naive := seriesByLabel(t, fig, "fleet-naive")
+	hitrate := seriesByLabel(t, fig, "fleet-hitrate")
+	for i, m := range fig.X {
+		if paid[i] != paid[0] {
+			t.Errorf("fleet of %v paid %v, want the flat solo cost %v", m, paid[i], paid[0])
+		}
+		if want := m * (naive[0] / fig.X[0]); naive[i] != want {
+			t.Errorf("naive cost at %v = %v, want %v", m, naive[i], want)
+		}
+		if m >= 8 && hitrate[i] < 0.9 {
+			t.Errorf("fleet of %v hit rate %v, want >= 0.9", m, hitrate[i])
+		}
+		if i > 0 && hitrate[i] <= hitrate[i-1] {
+			t.Errorf("hit rate not increasing in fleet size: %v after %v", hitrate[i], hitrate[i-1])
+		}
+	}
+}

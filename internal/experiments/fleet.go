@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"hidb/internal/core"
+	"hidb/internal/hiddendb"
+	"hidb/internal/session"
+)
+
+// AblationFleet measures the fleet-scale shared answer cache: M tokens,
+// each running a complete crawl of the Yahoo workload plus one refresh
+// pass (re-running the crawl against its own session — the journal-replay
+// behaviour real crawlers exhibit across budget windows), through one
+// session table with the SharedFree tier. Three series per fleet size:
+//
+//   - fleet-paid: queries the store actually answered — with the pace-car
+//     tier the whole fleet pays one solo crawl's cost, flat in M;
+//   - fleet-naive: M x the solo cost — what the same fleet pays in paper
+//     mode, where every client buys its own copy of the knowledge;
+//   - fleet-hitrate: the fraction of all fleet-issued queries answered
+//     without paying the store (journal replays, private memo hits, shared
+//     hits and in-flight waits). Every count it is built from is
+//     deterministic — the split between shared hits and waits is
+//     scheduling-dependent, but their sum is pinned by the single-flight —
+//     so the series is bit-stable across runs and tracked by benchjson
+//     exactly like the _queries metrics.
+//
+// The crawls run concurrently, so the measurement also exercises the
+// pace-car path: followers ride the leader's in-flight fetches query by
+// query. The function fails rather than reporting if the fleet overpays
+// (> 1.05x solo, the acceptance bound; single-flight makes it exactly 1x)
+// or if any crawl is incomplete.
+func AblationFleet(cfg Config) (*Figure, error) {
+	ds := yahooLike(cfg)
+	const k = 256
+	alg := core.ForSchema(ds.Schema)
+	fleetSizes := []int{1, 2, 4, 8, 16, 32}
+
+	// Solo reference: one paper-mode session, crawl + refresh.
+	srv, err := localServer(ds, k, cfg.PrioritySeed)
+	if err != nil {
+		return nil, err
+	}
+	soloCounting := hiddendb.NewCounting(srv)
+	soloTbl := session.NewTable(soloCounting, session.Config{})
+	soloSess, err := soloTbl.Get("solo")
+	if err != nil {
+		return nil, err
+	}
+	for pass := 0; pass < 2; pass++ {
+		res, err := alg.Crawl(context.Background(), soloSess.Server(), nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fleet solo reference: %w", err)
+		}
+		if !res.Tuples.EqualMultiset(ds.Tuples) {
+			return nil, fmt.Errorf("experiments: fleet solo reference incomplete: %d of %d tuples", len(res.Tuples), len(ds.Tuples))
+		}
+	}
+	soloPaid := soloCounting.Queries()
+
+	paid := Series{Label: "fleet-paid", Values: make([]float64, len(fleetSizes))}
+	naive := Series{Label: "fleet-naive", Values: make([]float64, len(fleetSizes))}
+	hitrate := Series{Label: "fleet-hitrate", Values: make([]float64, len(fleetSizes))}
+	for i, m := range fleetSizes {
+		counting := hiddendb.NewCounting(srv)
+		tbl := session.NewTable(counting, session.Config{SharedCache: hiddendb.SharedFree})
+
+		var wg sync.WaitGroup
+		errs := make([]error, m)
+		for j := 0; j < m; j++ {
+			sess, err := tbl.Get(fmt.Sprintf("tok-%d", j))
+			if err != nil {
+				return nil, err
+			}
+			wg.Add(1)
+			go func(j int, srv hiddendb.Server) {
+				defer wg.Done()
+				for pass := 0; pass < 2; pass++ {
+					res, err := alg.Crawl(context.Background(), srv, nil)
+					if err != nil {
+						errs[j] = err
+						return
+					}
+					if !res.Tuples.EqualMultiset(ds.Tuples) {
+						errs[j] = fmt.Errorf("incomplete crawl: %d of %d tuples", len(res.Tuples), len(ds.Tuples))
+						return
+					}
+				}
+			}(j, sess.Server())
+		}
+		wg.Wait()
+		for j, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fleet size %d, token %d: %w", m, j, err)
+			}
+		}
+
+		totalPaid := counting.Queries()
+		totalAsks := 0
+		for j := 0; j < m; j++ {
+			sess, err := tbl.Get(fmt.Sprintf("tok-%d", j))
+			if err != nil {
+				return nil, err
+			}
+			totalAsks += sess.Queries() + sess.Replays() + sess.CacheHits() +
+				sess.SharedHits() + sess.SharedWaits()
+		}
+		if float64(totalPaid) > 1.05*float64(soloPaid) {
+			return nil, fmt.Errorf("experiments: fleet of %d paid %d queries, over the 1.05x bound of the solo reference %d", m, totalPaid, soloPaid)
+		}
+		paid.Values[i] = float64(totalPaid)
+		naive.Values[i] = float64(m * soloPaid)
+		hitrate.Values[i] = 1 - float64(totalPaid)/float64(totalAsks)
+	}
+
+	return &Figure{
+		ID:      "A6",
+		Caption: "ablation: fleet-wide shared answer cache — store-paid queries and fleet hit rate vs fleet size (Yahoo, k=256, hybrid, crawl + refresh per token, shared-cache=free)",
+		XLabel:  "fleet-size",
+		X:       floats(fleetSizes),
+		Series:  []Series{paid, naive, hitrate},
+	}, nil
+}

@@ -52,6 +52,7 @@ import (
 
 	"hidb/internal/dataspace"
 	"hidb/internal/index"
+	"hidb/internal/memo"
 	"hidb/internal/simrand"
 )
 
@@ -333,17 +334,6 @@ func (c *Counting) Reset() {
 	c.overflow.Store(0)
 }
 
-// cacheShards is the number of lock-scoped segments of Caching's memo
-// table. A power of two so the shard pick is a mask, sized to make lock
-// collisions rare at the parallelism this package targets.
-const cacheShards = 16
-
-// cacheShard is one lock-scoped segment of the memo table.
-type cacheShard struct {
-	mu sync.Mutex
-	m  map[string]Result
-}
-
 // Caching wraps a Server and memoizes responses by canonical query key.
 // A repeated query is answered from the cache and does not count against the
 // inner server. Lazy-slice-cover and hybrid rely on this to consult a slice
@@ -352,55 +342,33 @@ type cacheShard struct {
 // The memo key is the compact binary encoding of Query.AppendKey, built
 // into a pool-recycled buffer: a cache hit performs no allocation at all
 // (the map lookup is a zero-copy string conversion), and a miss pays one
-// key-string allocation when the entry is stored. The table is split into
-// lock-scoped shards and the hit/miss counters are atomics, so Caching is
-// safe for concurrent use — many workers (or one batched dispatcher) can
-// share a memo without serializing on a single lock.
+// key-string allocation when the entry is stored. The table is the memo
+// package's sharded cache and the hit/miss counters are atomics, so Caching
+// is safe for concurrent use — many workers (or one batched dispatcher) can
+// share a memo without serializing on a single lock. The same memo core,
+// byte-bounded and shared process-wide, backs the Shared fleet tier.
 type Caching struct {
 	inner  Server
-	shards [cacheShards]cacheShard
+	cache  *memo.Cache[Result]
 	hits   atomic.Int64
 	misses atomic.Int64
 }
 
 // NewCaching wraps srv with an empty memo table.
 func NewCaching(srv Server) *Caching {
-	c := &Caching{inner: srv}
-	for i := range c.shards {
-		c.shards[i].m = make(map[string]Result)
-	}
-	return c
+	return &Caching{inner: srv, cache: memo.New[Result](0, nil)}
 }
 
 // keyBufPool recycles AppendKey buffers so cache hits allocate nothing even
 // under concurrent use (a per-Caching buffer would need its own lock).
 var keyBufPool = sync.Pool{New: func() any { return new([]byte) }}
 
-// shardFor picks the lock-scoped segment for a key (FNV-1a).
-func (c *Caching) shardFor(key []byte) *cacheShard {
-	h := uint32(2166136261)
-	for _, b := range key {
-		h ^= uint32(b)
-		h *= 16777619
-	}
-	return &c.shards[h&(cacheShards-1)]
-}
-
 func (c *Caching) lookup(key []byte) (Result, bool) {
-	sh := c.shardFor(key)
-	sh.mu.Lock()
-	res, ok := sh.m[string(key)] // zero-copy lookup
-	sh.mu.Unlock()
-	return res, ok
+	return c.cache.Get(key)
 }
 
 func (c *Caching) store(key []byte, res Result) {
-	sh := c.shardFor(key)
-	sh.mu.Lock()
-	if _, ok := sh.m[string(key)]; !ok {
-		sh.m[string(key)] = res
-	}
-	sh.mu.Unlock()
+	c.cache.Set(string(key), res)
 }
 
 // Answer implements Server with memoization.

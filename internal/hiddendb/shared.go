@@ -1,0 +1,267 @@
+// The fleet-wide shared answer cache: the "pace car" tier under the
+// per-session decorator stacks.
+//
+// The paper's cost model charges every client the full query count, so N
+// clients crawling the same hidden store pay N times for identical
+// knowledge. Shared is the opt-in server-side remedy: one process-wide memo
+// of the store's answers, keyed by canonical query, that every session's
+// stack reads through. The first session to ask a query leads — it pays the
+// store through its own quota and counter and populates the entry — while
+// concurrent followers block on the per-key single-flight and read the
+// answer the moment the leader lands it, never re-issuing the query. A
+// still-running crawl is therefore streamed incrementally: a follower
+// crawling the same store rides one query behind the leader at worst,
+// never waiting for the whole crawl to finish. A leader that fails — its
+// crawl cancelled, its budget exhausted, its session evicted mid-flight —
+// hands leadership to a follower instead of orphaning them (see
+// memo.Flight).
+//
+// Accounting is the point, and it is policy-gated, never implicit:
+// SharedOff (the default) keeps the tier out of the stack entirely, so
+// paper-mode costs are bit-identical; SharedFree places the tier above the
+// session's quota and counter, so a shared hit is free — M crawlers of one
+// store at ~1x total cost; SharedCharged places it below them, so a hit
+// saves the store's work but still debits the client — the paper's
+// accounting preserved while the fleet shares compute.
+package hiddendb
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"hidb/internal/dataspace"
+	"hidb/internal/memo"
+)
+
+// SharedCachePolicy selects whether and how the fleet-wide shared answer
+// cache participates in a session stack.
+type SharedCachePolicy int
+
+const (
+	// SharedOff is paper mode: no shared tier, every client pays its full
+	// query count. The default, bit-identical to a stack without the tier.
+	SharedOff SharedCachePolicy = iota
+	// SharedFree serves shared hits free of the client's quota and counter:
+	// only the leading session pays the store. The fleet-scale mode.
+	SharedFree
+	// SharedCharged serves shared hits from the cache — saving the store's
+	// work — but still debits the client's quota and counter, preserving
+	// the paper's per-client accounting exactly.
+	SharedCharged
+)
+
+// String returns the policy's flag spelling: off, free or charged.
+func (p SharedCachePolicy) String() string {
+	switch p {
+	case SharedOff:
+		return "off"
+	case SharedFree:
+		return "free"
+	case SharedCharged:
+		return "charged"
+	}
+	return fmt.Sprintf("SharedCachePolicy(%d)", int(p))
+}
+
+// ParseSharedCachePolicy parses the flag spelling accepted by String.
+func ParseSharedCachePolicy(s string) (SharedCachePolicy, error) {
+	switch s {
+	case "off", "":
+		return SharedOff, nil
+	case "free":
+		return SharedFree, nil
+	case "charged":
+		return SharedCharged, nil
+	}
+	return SharedOff, fmt.Errorf("hiddendb: unknown shared-cache policy %q (want off, free or charged)", s)
+}
+
+// sharedEntrySize estimates one cached answer's resident bytes for the LRU
+// bound: the key, the result header, and every tuple's values.
+func sharedEntrySize(key string, res Result) int64 {
+	n := int64(len(key)) + 64
+	for _, t := range res.Tuples {
+		n += int64(len(t))*8 + 24
+	}
+	return n
+}
+
+// Shared is one hidden store's fleet-wide answer cache plus its per-key
+// single-flight. Create one per served store and hand each session a View.
+// Safe for concurrent use by any number of views.
+type Shared struct {
+	cache  *memo.Cache[Result]
+	flight *memo.Flight[Result]
+	hits   atomic.Int64
+	waits  atomic.Int64
+	leads  atomic.Int64
+}
+
+// NewShared builds an empty shared cache. maxBytes > 0 bounds its resident
+// size with per-shard LRU eviction (an evicted answer is simply re-paid by
+// its next asker — the cache is an optimization, never the source of
+// truth); 0 is unbounded.
+func NewShared(maxBytes int64) *Shared {
+	return &Shared{
+		cache:  memo.New(maxBytes, sharedEntrySize),
+		flight: memo.NewFlight[Result](),
+	}
+}
+
+// Hits returns how many queries were answered from an already-cached entry.
+func (s *Shared) Hits() int { return int(s.hits.Load()) }
+
+// Waits returns how many queries were answered by waiting out a concurrent
+// leader's in-flight fetch — the follower side of the pace car.
+func (s *Shared) Waits() int { return int(s.waits.Load()) }
+
+// Leads returns how many queries some session led: paid through its own
+// stack and populated into the cache.
+func (s *Shared) Leads() int { return int(s.leads.Load()) }
+
+// Entries returns the number of answers currently cached.
+func (s *Shared) Entries() int { return s.cache.Len() }
+
+// Bytes returns the estimated resident size of a bounded cache (0 when
+// unbounded).
+func (s *Shared) Bytes() int64 { return s.cache.Bytes() }
+
+// Evictions returns how many answers the byte bound has evicted.
+func (s *Shared) Evictions() int { return s.cache.Evictions() }
+
+// InFlightWaits returns the number of keys currently being led.
+func (s *Shared) InFlightWaits() int { return s.flight.InFlight() }
+
+// SharedStats is a point-in-time snapshot of the tier's counters.
+type SharedStats struct {
+	// Hits counts answers served from a cached entry; Waits answers served
+	// by waiting on a leader's in-flight fetch. Both are free under
+	// SharedFree.
+	Hits  int
+	Waits int
+	// Leads counts queries some session paid and populated.
+	Leads int
+	// Entries and Bytes describe the cache's occupancy; Evictions how many
+	// entries the byte bound has dropped.
+	Entries   int
+	Bytes     int64
+	Evictions int
+	// InFlight is the number of keys currently being led.
+	InFlight int
+}
+
+// Stats snapshots the tier's counters.
+func (s *Shared) Stats() SharedStats {
+	return SharedStats{
+		Hits:      s.Hits(),
+		Waits:     s.Waits(),
+		Leads:     s.Leads(),
+		Entries:   s.Entries(),
+		Bytes:     s.Bytes(),
+		Evictions: s.Evictions(),
+		InFlight:  s.InFlightWaits(),
+	}
+}
+
+// View returns one session's server through the shared tier. inner is the
+// chain that pays when this session leads a miss: under SharedFree the
+// session's quota → rate limit → counter → store chain (a hit skips it
+// entirely, hence is free); under SharedCharged the bare store (quota and
+// counter sit above the view and charge hits and leads alike). Each view
+// keeps per-session hit/wait/lead counters alongside the tier-wide ones.
+func (s *Shared) View(inner Server) *SharedView {
+	return &SharedView{shared: s, inner: inner}
+}
+
+// SharedView is one session's window onto a Shared tier. It implements
+// Server; safe for concurrent use when inner is.
+type SharedView struct {
+	shared *Shared
+	inner  Server
+	hits   atomic.Int64
+	waits  atomic.Int64
+	leads  atomic.Int64
+}
+
+// Hits returns this session's answers served from an already-cached entry.
+func (v *SharedView) Hits() int { return int(v.hits.Load()) }
+
+// Waits returns this session's answers served by waiting on another
+// session's in-flight fetch.
+func (v *SharedView) Waits() int { return int(v.waits.Load()) }
+
+// Leads returns the queries this session led (paid and populated).
+func (v *SharedView) Leads() int { return int(v.leads.Load()) }
+
+// Answer implements Server. A cached answer returns immediately; a query
+// some other session is fetching right now blocks until that leader lands
+// or fails (handing leadership over on failure); otherwise this session
+// leads: the query is paid through inner — this session's budget — and the
+// answer is published for the fleet. Per-key single-flight guarantees the
+// store is asked each query at most once however many sessions race on it.
+func (v *SharedView) Answer(ctx context.Context, q dataspace.Query) (Result, error) {
+	bufp := keyBufPool.Get().(*[]byte)
+	keyb := q.AppendKey((*bufp)[:0])
+	res, ok := v.shared.cache.Get(keyb)
+	if ok {
+		v.hits.Add(1)
+		v.shared.hits.Add(1)
+		*bufp = keyb[:0]
+		keyBufPool.Put(bufp)
+		return res, nil
+	}
+	key := string(keyb)
+	*bufp = keyb[:0]
+	keyBufPool.Put(bufp)
+
+	res, via, err := v.shared.flight.Do(ctx, key,
+		func() (Result, bool) { return v.shared.cache.GetString(key) },
+		func() (Result, error) {
+			r, err := v.inner.Answer(ctx, q)
+			if err == nil {
+				v.shared.cache.Set(key, r)
+			}
+			return r, err
+		})
+	if err != nil {
+		return res, err
+	}
+	switch via {
+	case memo.Led:
+		v.leads.Add(1)
+		v.shared.leads.Add(1)
+	case memo.Waited:
+		v.waits.Add(1)
+		v.shared.waits.Add(1)
+	default: // memo.Hit: cached between our miss and the flight's re-check
+		v.hits.Add(1)
+		v.shared.hits.Add(1)
+	}
+	return res, nil
+}
+
+// AnswerBatch implements Server by issuing the queries one at a time: each
+// query independently hits, waits or leads, which preserves the sequential
+// contract exactly — results is the answered prefix and the error describes
+// the first query that could not be answered. (The per-shard batch fan-out
+// happens below the tier only for the queries this session actually leads;
+// a fleet at steady state answers most of a batch from the cache without
+// touching the store at all.)
+func (v *SharedView) AnswerBatch(ctx context.Context, qs []dataspace.Query) ([]Result, error) {
+	out := make([]Result, 0, len(qs))
+	for _, q := range qs {
+		res, err := v.Answer(ctx, q)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// K implements Server.
+func (v *SharedView) K() int { return v.inner.K() }
+
+// Schema implements Server.
+func (v *SharedView) Schema() *dataspace.Schema { return v.inner.Schema() }

@@ -1,0 +1,191 @@
+package httpserver
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"hidb/internal/datagen"
+	"hidb/internal/hiddendb"
+	"hidb/internal/httpclient"
+	"hidb/internal/session"
+	"hidb/internal/wire"
+)
+
+// fleetHandler builds a shared-cache session handler whose store is
+// wrapped in a Counting server, so tests can pin exactly what the fleet
+// paid.
+func fleetHandler(t *testing.T, n, k int, cfg session.Config) (*Handler, *hiddendb.Counting, *datagen.Dataset) {
+	t.Helper()
+	ds, err := datagen.Random(datagen.RandomSpec{
+		N:          n,
+		CatDomains: []int{4},
+		NumRanges:  [][2]int64{{0, 1000}},
+		DupRate:    0.05,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := hiddendb.NewLocal(ds.Schema, ds.Tuples, k, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting := hiddendb.NewCounting(srv)
+	return New(counting, WithSessions(cfg)), counting, ds
+}
+
+// TestFleetCrawlOverHTTP: with -shared-cache free semantics, a second
+// token's /crawl is served from the tier the first token populated — the
+// store is paid exactly once, the follower pays nothing, and both /stats
+// and the crawl's terminal line surface the shared-tier traffic.
+func TestFleetCrawlOverHTTP(t *testing.T) {
+	h, counting, ds := fleetHandler(t, 300, 10, session.Config{SharedCache: hiddendb.SharedFree})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	leader, err := httpclient.DialToken(context.Background(), ts.URL, "leader", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := leader.Crawl(context.Background(), "", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Tuples.EqualMultiset(ds.Tuples) {
+		t.Fatalf("leader crawl incomplete: %d of %d tuples", len(res.Tuples), len(ds.Tuples))
+	}
+	refPaid := counting.Queries()
+	if refPaid == 0 || res.Queries != refPaid {
+		t.Fatalf("leader paid %d, store answered %d", res.Queries, refPaid)
+	}
+
+	// The follower's crawl re-asks the same deterministic query sequence;
+	// every answer comes from the tier, so the store is not asked again
+	// and the follower's budgetless session pays nothing.
+	follower, err := httpclient.DialToken(context.Background(), ts.URL, "follower", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var terminal wire.CrawlEvent
+	fres, err := follower.Crawl(context.Background(), "", 0, func(ev wire.CrawlEvent) {
+		if ev.Done {
+			terminal = ev
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fres.Tuples.EqualMultiset(ds.Tuples) {
+		t.Fatalf("follower crawl incomplete: %d of %d tuples", len(fres.Tuples), len(ds.Tuples))
+	}
+	if counting.Queries() != refPaid {
+		t.Fatalf("store answered %d after the follower, want still %d", counting.Queries(), refPaid)
+	}
+	if fres.Queries != 0 {
+		t.Fatalf("follower paid %d, want 0", fres.Queries)
+	}
+	if terminal.SharedHits+terminal.SharedWaits != refPaid {
+		t.Fatalf("terminal line reports %d shared answers, want %d",
+			terminal.SharedHits+terminal.SharedWaits, refPaid)
+	}
+
+	// /stats: the aggregate tier block and the per-session breakdown.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var msg wire.StatsMsg
+	if err := json.NewDecoder(resp.Body).Decode(&msg); err != nil {
+		t.Fatal(err)
+	}
+	if msg.SharedCache == nil {
+		t.Fatal("stats carry no sharedCache block in fleet mode")
+	}
+	if msg.SharedCache.Leads != refPaid {
+		t.Errorf("tier leads = %d, want %d", msg.SharedCache.Leads, refPaid)
+	}
+	if got := msg.SharedCache.Hits + msg.SharedCache.Waits; got != refPaid {
+		t.Errorf("tier hits+waits = %d, want %d", got, refPaid)
+	}
+	if msg.SharedCache.Entries != refPaid {
+		t.Errorf("tier entries = %d, want %d", msg.SharedCache.Entries, refPaid)
+	}
+	if msg.Queries != refPaid {
+		t.Errorf("aggregate paid = %d, want %d", msg.Queries, refPaid)
+	}
+	byToken := map[string]wire.SessionStatsMsg{}
+	for _, s := range msg.Sessions {
+		byToken[s.Token] = s
+	}
+	if l := byToken["leader"]; l.SharedLeads != refPaid || l.Queries != refPaid {
+		t.Errorf("leader session stats: %+v, want %d leads and %d paid", l, refPaid, refPaid)
+	}
+	if f := byToken["follower"]; f.SharedHits+f.SharedWaits != refPaid || f.Queries != 0 {
+		t.Errorf("follower session stats: %+v, want %d shared answers and 0 paid", f, refPaid)
+	}
+}
+
+// TestFleetConcurrentCrawlsOverHTTP: M tokens crawling at once — the
+// pace-car case. Followers ride the leader's in-flight fetches query by
+// query (never waiting for the whole crawl), every token extracts the full
+// database, and the fleet pays the store one solo crawl's cost.
+func TestFleetConcurrentCrawlsOverHTTP(t *testing.T) {
+	h, counting, ds := fleetHandler(t, 300, 10, session.Config{SharedCache: hiddendb.SharedFree})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	const m = 4
+	var wg sync.WaitGroup
+	errs := make([]error, m)
+	for i := 0; i < m; i++ {
+		c, err := httpclient.DialToken(context.Background(), ts.URL, fmt.Sprintf("tok-%d", i), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, c *httpclient.Client) {
+			defer wg.Done()
+			res, err := c.Crawl(context.Background(), "", 0, nil)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !res.Tuples.EqualMultiset(ds.Tuples) {
+				errs[i] = fmt.Errorf("incomplete crawl: %d of %d tuples", len(res.Tuples), len(ds.Tuples))
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("token %d: %v", i, err)
+		}
+	}
+
+	// Solo reference on an identical fresh store.
+	srv, err := hiddendb.NewLocal(ds.Schema, ds.Tuples, 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCounting := hiddendb.NewCounting(srv)
+	refH := New(refCounting, WithSessions(session.Config{}))
+	refTS := httptest.NewServer(refH)
+	defer refTS.Close()
+	refC, err := httpclient.DialToken(context.Background(), refTS.URL, "solo", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := refC.Crawl(context.Background(), "", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	if counting.Queries() != refCounting.Queries() {
+		t.Fatalf("fleet of %d paid %d, solo reference paid %d — want exactly equal",
+			m, counting.Queries(), refCounting.Queries())
+	}
+}

@@ -531,6 +531,9 @@ func (h *Handler) handleCrawl(w http.ResponseWriter, r *http.Request) {
 	var target hiddendb.Server
 	var paid func() int // the caller's paid-query count, streamed per tuple
 	var onPaid func()   // bookkeeping per paid query, before the flush
+	// freeBreakdown stamps the terminal line with how many of this crawl's
+	// queries were answered for free, and from where (session mode only).
+	freeBreakdown := func(*wire.CrawlEvent) {}
 	if h.table != nil {
 		sess, ok := h.resolveSession(w, r, msg.Token)
 		if !ok {
@@ -538,6 +541,16 @@ func (h *Handler) handleCrawl(w http.ResponseWriter, r *http.Request) {
 		}
 		target = sess.Server()
 		paid = sess.Queries
+		// Counter values before the crawl, so the terminal line reports this
+		// crawl's deltas rather than session-lifetime totals.
+		replays0, hits0 := sess.Replays(), sess.CacheHits()
+		sharedHits0, sharedWaits0 := sess.SharedHits(), sess.SharedWaits()
+		freeBreakdown = func(ev *wire.CrawlEvent) {
+			ev.Replays = sess.Replays() - replays0
+			ev.CacheHits = sess.CacheHits() - hits0
+			ev.SharedHits = sess.SharedHits() - sharedHits0
+			ev.SharedWaits = sess.SharedWaits() - sharedWaits0
+		}
 		// A crawl can outlive the session TTL while being perfectly
 		// active; touching per paid query keeps the table from evicting
 		// a session that is mid-extraction.
@@ -599,6 +612,7 @@ func (h *Handler) handleCrawl(w http.ResponseWriter, r *http.Request) {
 
 	res, err := crawler.Crawl(r.Context(), target, opts)
 	final := wire.CrawlEvent{Done: true, Queries: paid(), Tuples: tuplesSent, Skipped: msg.Skip - toSkip}
+	freeBreakdown(&final)
 	if res != nil {
 		final.Resolved = res.Resolved
 		final.Overflowed = res.Overflowed
@@ -666,15 +680,30 @@ func (h *Handler) handleStats(w http.ResponseWriter) {
 		msg.EvictedSessions = h.table.Evicted()
 		for _, s := range h.table.Stats() {
 			msg.Sessions = append(msg.Sessions, wire.SessionStatsMsg{
-				Token:      s.Token,
-				Queries:    s.Queries,
-				Resolved:   s.Resolved,
-				Overflowed: s.Overflowed,
-				Remaining:  s.Remaining,
-				Replays:    s.Replays,
-				CacheHits:  s.CacheHits,
-				JournalLen: s.JournalLen,
+				Token:       s.Token,
+				Queries:     s.Queries,
+				Resolved:    s.Resolved,
+				Overflowed:  s.Overflowed,
+				Remaining:   s.Remaining,
+				Replays:     s.Replays,
+				CacheHits:   s.CacheHits,
+				JournalLen:  s.JournalLen,
+				SharedHits:  s.SharedHits,
+				SharedWaits: s.SharedWaits,
+				SharedLeads: s.SharedLeads,
 			})
+		}
+		if sc := h.table.SharedCache(); sc != nil {
+			st := sc.Stats()
+			msg.SharedCache = &wire.SharedCacheStatsMsg{
+				Hits:      st.Hits,
+				Waits:     st.Waits,
+				Leads:     st.Leads,
+				Entries:   st.Entries,
+				Bytes:     st.Bytes,
+				Evictions: st.Evictions,
+				InFlight:  st.InFlight,
+			}
 		}
 	}
 	if ps, ok := h.srv.(interface{ PlanStats() index.PlanStats }); ok {

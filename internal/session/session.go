@@ -31,6 +31,14 @@
 // exhausted one budget fast-forwards for free through everything already
 // paid and spends the fresh budget only on new queries — the journal
 // package's resumability contract, now enforced server-side per client.
+//
+// Config.SharedCache opts a table into fleet mode: one hiddendb.Shared
+// answer tier under every session's private stack, so knowledge any token
+// paid for once serves the whole fleet. SharedFree splices it between the
+// memo table and the quota (shared hits and waits cost the asker nothing);
+// SharedCharged splices it between the counter and the store (hits save
+// the store's work but are still debited). The default, SharedOff, builds
+// exactly the stack above — paper-mode accounting is bit-identical.
 package session
 
 import (
@@ -82,6 +90,18 @@ type Config struct {
 	// on eviction and reloads it when the token reconnects. The
 	// directory is created on first use.
 	JournalDir string
+	// SharedCache selects the fleet-wide shared answer tier. SharedOff
+	// (the default) keeps every stack exactly as documented above — paper
+	// mode, bit-identical accounting. SharedFree inserts the tier between
+	// each session's memo table and its quota, so an answer some other
+	// token already paid for is served free; SharedCharged inserts it
+	// between the counter and the store, so a hit saves the store's work
+	// but still debits the asking token.
+	SharedCache hiddendb.SharedCachePolicy
+	// SharedCacheBytes bounds the shared tier's resident size (LRU
+	// eviction beyond it); zero is unbounded. Ignored when SharedCache is
+	// SharedOff.
+	SharedCacheBytes int64
 }
 
 // Session is one token's private view of the shared server. Its Server
@@ -95,6 +115,9 @@ type Session struct {
 	caching  *hiddendb.Caching
 	quota    *hiddendb.Quota
 	counting *hiddendb.Counting
+	// shared is this session's window onto the fleet-wide answer tier;
+	// nil in paper mode (Config.SharedCache == SharedOff).
+	shared *hiddendb.SharedView
 
 	lastSeen time.Time // guarded by the owning Table's mutex
 }
@@ -131,6 +154,33 @@ func (s *Session) Replays() int { return s.jsrv.Replays() }
 // CacheHits returns how many queries were answered from the memo table.
 func (s *Session) CacheHits() int { return s.caching.Hits() }
 
+// SharedHits returns how many of this session's queries were answered
+// from an already-populated shared-tier entry (0 in paper mode).
+func (s *Session) SharedHits() int {
+	if s.shared == nil {
+		return 0
+	}
+	return s.shared.Hits()
+}
+
+// SharedWaits returns how many of this session's queries were answered by
+// waiting out another session's in-flight fetch (0 in paper mode).
+func (s *Session) SharedWaits() int {
+	if s.shared == nil {
+		return 0
+	}
+	return s.shared.Waits()
+}
+
+// SharedLeads returns how many shared-tier entries this session led — paid
+// on its own budget and published for the fleet (0 in paper mode).
+func (s *Session) SharedLeads() int {
+	if s.shared == nil {
+		return 0
+	}
+	return s.shared.Leads()
+}
+
 // JournalLen returns the number of (query, response) pairs journaled.
 func (s *Session) JournalLen() int { return s.journal.Len() }
 
@@ -147,18 +197,26 @@ type Stats struct {
 	Replays    int
 	CacheHits  int
 	JournalLen int
+	// SharedHits, SharedWaits and SharedLeads are the session's traffic
+	// through the fleet-wide shared tier; all zero in paper mode.
+	SharedHits  int
+	SharedWaits int
+	SharedLeads int
 }
 
 func (s *Session) stats() Stats {
 	return Stats{
-		Token:      s.token,
-		Queries:    s.Queries(),
-		Resolved:   s.Resolved(),
-		Overflowed: s.Overflowed(),
-		Remaining:  s.Remaining(),
-		Replays:    s.Replays(),
-		CacheHits:  s.CacheHits(),
-		JournalLen: s.JournalLen(),
+		Token:       s.token,
+		Queries:     s.Queries(),
+		Resolved:    s.Resolved(),
+		Overflowed:  s.Overflowed(),
+		Remaining:   s.Remaining(),
+		Replays:     s.Replays(),
+		CacheHits:   s.CacheHits(),
+		JournalLen:  s.JournalLen(),
+		SharedHits:  s.SharedHits(),
+		SharedWaits: s.SharedWaits(),
+		SharedLeads: s.SharedLeads(),
 	}
 }
 
@@ -168,6 +226,9 @@ func (s *Session) stats() Stats {
 type Table struct {
 	shared hiddendb.Server
 	cfg    Config
+	// fleet is the table-wide shared answer tier every session's stack
+	// reads through; nil in paper mode (cfg.SharedCache == SharedOff).
+	fleet *hiddendb.Shared
 
 	mu       sync.Mutex
 	sessions map[string]*list.Element // token → lru element holding *Session
@@ -193,14 +254,25 @@ func NewTable(shared hiddendb.Server, cfg Config) *Table {
 	if cfg.MaxSessions <= 0 {
 		cfg.MaxSessions = DefaultMaxSessions
 	}
-	return &Table{
+	t := &Table{
 		shared:   shared,
 		cfg:      cfg,
 		sessions: make(map[string]*list.Element),
 		lru:      list.New(),
 		now:      time.Now,
 	}
+	if cfg.SharedCache != hiddendb.SharedOff {
+		t.fleet = hiddendb.NewShared(cfg.SharedCacheBytes)
+	}
+	return t
 }
+
+// SharedCache returns the table-wide shared answer tier, or nil in paper
+// mode. The tier outlives every session: evicting a token discards its
+// stack but never the answers it led, and its in-flight fetches complete
+// normally (or hand leadership to a waiting follower), so eviction can
+// never orphan the fleet.
+func (t *Table) SharedCache() *hiddendb.Shared { return t.fleet }
 
 // Get returns the token's live session, creating it (and reloading its
 // persisted journal, if any) on first use. Every call counts as activity:
@@ -273,7 +345,17 @@ func (t *Table) newSession(token string) (*Session, error) {
 	if jnl == nil {
 		jnl = journal.New(t.shared.Schema(), t.shared.K())
 	}
-	counting := hiddendb.NewCounting(t.shared)
+	// store is the innermost layer below the counter. In paper mode and
+	// SharedFree it is the shared store itself; under SharedCharged the
+	// fleet tier sits here, below the counter, so a shared hit saves the
+	// store's work but is still counted and debited like any paid query.
+	store := t.shared
+	var sharedView *hiddendb.SharedView
+	if t.cfg.SharedCache == hiddendb.SharedCharged {
+		sharedView = t.fleet.View(store)
+		store = sharedView
+	}
+	counting := hiddendb.NewCounting(store)
 	var view hiddendb.Server = counting
 	if t.cfg.RatePerSecond > 0 {
 		burst := t.cfg.RateBurst
@@ -291,6 +373,13 @@ func (t *Table) newSession(token string) (*Session, error) {
 		quota = hiddendb.NewQuota(view, t.cfg.Quota)
 		view = quota
 	}
+	// Under SharedFree the fleet tier sits above the quota and counter:
+	// a shared hit or a wait on another token's in-flight fetch returns
+	// before touching either, so only the leading token pays.
+	if t.cfg.SharedCache == hiddendb.SharedFree {
+		sharedView = t.fleet.View(view)
+		view = sharedView
+	}
 	caching := hiddendb.NewCaching(view)
 	jsrv, err := journal.Wrap(caching, jnl)
 	if err != nil {
@@ -304,6 +393,7 @@ func (t *Table) newSession(token string) (*Session, error) {
 		caching:  caching,
 		quota:    quota,
 		counting: counting,
+		shared:   sharedView,
 	}, nil
 }
 

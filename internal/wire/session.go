@@ -83,6 +83,16 @@ type CrawlEvent struct {
 	// Skipped echoes how many already-delivered tuples the resume cursor
 	// suppressed (terminal line).
 	Skipped int `json:"skipped,omitempty"`
+	// Replays, CacheHits, SharedHits and SharedWaits break down how this
+	// crawl's queries were answered for free (terminal line): from the
+	// session's journal, its private memo table, an already-populated
+	// fleet-tier entry, or by waiting out another token's in-flight fetch.
+	// Deltas over this crawl only, not session lifetime totals. The shared
+	// fields appear only in fleet mode.
+	Replays     int `json:"replays,omitempty"`
+	CacheHits   int `json:"cacheHits,omitempty"`
+	SharedHits  int `json:"sharedHits,omitempty"`
+	SharedWaits int `json:"sharedWaits,omitempty"`
 	// Error reports a crawl that could not complete (terminal line).
 	Error string `json:"error,omitempty"`
 	// QuotaExceeded marks an Error caused by the session's query budget.
@@ -104,6 +114,28 @@ type StatsMsg struct {
 	// Planner carries the store's query-planner counters when the backing
 	// server exposes them (a local store does; a remote proxy may not).
 	Planner *PlannerStatsMsg `json:"planner,omitempty"`
+	// SharedCache carries the fleet-wide shared answer tier's aggregate
+	// counters; absent in paper mode (shared cache off).
+	SharedCache *SharedCacheStatsMsg `json:"sharedCache,omitempty"`
+}
+
+// SharedCacheStatsMsg is the fleet-wide shared answer tier's aggregate
+// introspection in the /stats response.
+type SharedCacheStatsMsg struct {
+	// Hits counts queries answered from an already-populated entry; Waits
+	// queries answered by waiting out another session's in-flight fetch.
+	Hits  int `json:"hits"`
+	Waits int `json:"waits"`
+	// Leads counts queries some session paid and published — the tier's
+	// misses, each charged to exactly one token.
+	Leads int `json:"leads"`
+	// Entries and Bytes describe the cache's occupancy (Bytes is 0 for an
+	// unbounded tier); Evictions counts entries the byte bound dropped.
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes,omitempty"`
+	Evictions int   `json:"evictions,omitempty"`
+	// InFlight is the number of queries being led right now.
+	InFlight int `json:"inFlight,omitempty"`
 }
 
 // PlannerStatsMsg is the store's query-planner introspection in the /stats
@@ -137,4 +169,11 @@ type SessionStatsMsg struct {
 	CacheHits int `json:"cacheHits,omitempty"`
 	// JournalLen is the number of (query, response) pairs journaled.
 	JournalLen int `json:"journalLen,omitempty"`
+	// SharedHits, SharedWaits and SharedLeads are this session's traffic
+	// through the fleet-wide shared tier (fleet mode only): answers read
+	// from a populated entry, answers waited out of another token's
+	// in-flight fetch, and entries this token paid for and published.
+	SharedHits  int `json:"sharedHits,omitempty"`
+	SharedWaits int `json:"sharedWaits,omitempty"`
+	SharedLeads int `json:"sharedLeads,omitempty"`
 }

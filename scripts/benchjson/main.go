@@ -7,9 +7,11 @@
 //
 // With -baseline it also diffs the fresh snapshot against a previous one:
 // every custom "*_queries" metric — the paper's cost measure, which must be
-// bit-stable across engine changes — has to match the baseline exactly, or
-// the command fails listing the drift. Perf metrics (ns/op, B/op) are
-// expected to move and are not compared. Benchmarks present only in the
+// bit-stable across engine changes — and every "*_hitrate" metric — the
+// fleet ablation's deterministic cache-hit ratio, built from the same pinned
+// counts — has to match the baseline exactly, or the command fails listing
+// the drift. Perf metrics (ns/op, B/op) are expected to move and are not
+// compared. Benchmarks present only in the
 // fresh snapshot (a PR's new microbenchmarks) are announced rather than
 // silently skipped; baseline cost metrics absent from the fresh run warn.
 //
@@ -85,10 +87,18 @@ func main() {
 	}
 }
 
-// compareQueries verifies that every "*_queries" metric of the fresh run
-// matches the baseline snapshot bit for bit. Benchmarks or metrics present
-// on only one side are ignored (figures come and go across PRs); a value
-// that exists on both sides and differs is a cost regression.
+// pinned reports whether a metric unit must stay bit-identical across PRs:
+// the "*_queries" cost metrics and the "*_hitrate" ratios (deterministic by
+// construction — each is 1 - paid/asks over counts the single-flight pins).
+func pinned(unit string) bool {
+	return strings.HasSuffix(unit, "_queries") || strings.HasSuffix(unit, "_hitrate")
+}
+
+// compareQueries verifies that every pinned metric ("*_queries" and
+// "*_hitrate") of the fresh run matches the baseline snapshot bit for bit.
+// Benchmarks or metrics present on only one side are ignored (figures come
+// and go across PRs); a value that exists on both sides and differs is a
+// cost regression.
 func compareQueries(benches []Benchmark, path string) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -124,7 +134,7 @@ func compareQueries(benches []Benchmark, path string) error {
 			continue
 		}
 		for unit, v := range b.Metrics {
-			if !strings.HasSuffix(unit, "_queries") {
+			if !pinned(unit) {
 				continue
 			}
 			want, ok := old[unit]
@@ -149,7 +159,7 @@ func compareQueries(benches []Benchmark, path string) error {
 			continue
 		}
 		for unit := range old {
-			if !strings.HasSuffix(unit, "_queries") {
+			if !pinned(unit) {
 				continue
 			}
 			if _, ok := cur[unit]; !ok {
@@ -163,12 +173,12 @@ func compareQueries(benches []Benchmark, path string) error {
 			len(newOnly), strings.Join(newOnly, ", "))
 	}
 	if drifted > 0 {
-		return fmt.Errorf("%d of %d query-count metrics drifted from %s", drifted, compared, path)
+		return fmt.Errorf("%d of %d pinned metrics drifted from %s", drifted, compared, path)
 	}
 	if missing > 0 {
-		fmt.Printf("benchjson: %d query-count metrics match %s (%d baseline metrics absent — see warnings)\n", compared, path, missing)
+		fmt.Printf("benchjson: %d pinned metrics match %s (%d baseline metrics absent — see warnings)\n", compared, path, missing)
 	} else {
-		fmt.Printf("benchjson: %d query-count metrics match %s\n", compared, path)
+		fmt.Printf("benchjson: %d pinned metrics match %s\n", compared, path)
 	}
 	return nil
 }

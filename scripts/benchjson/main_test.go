@@ -59,7 +59,7 @@ func writeBaseline(t *testing.T, dir string, benches []Benchmark) string {
 func TestCompareQueries(t *testing.T) {
 	base := []Benchmark{
 		{Name: "BenchmarkFig", Metrics: map[string]float64{
-			"a_queries": 100, "b_queries": 200, "ns/op": 5,
+			"a_queries": 100, "b_queries": 200, "c_hitrate": 0.9375, "ns/op": 5,
 		}},
 	}
 	path := writeBaseline(t, t.TempDir(), base)
@@ -67,7 +67,7 @@ func TestCompareQueries(t *testing.T) {
 	// Identical cost metrics pass; ns/op drift is ignored.
 	fresh := []Benchmark{
 		{Name: "BenchmarkFig", Metrics: map[string]float64{
-			"a_queries": 100, "b_queries": 200, "ns/op": 9999,
+			"a_queries": 100, "b_queries": 200, "c_hitrate": 0.9375, "ns/op": 9999,
 		}},
 	}
 	if err := compareQueries(fresh, path); err != nil {
@@ -80,6 +80,13 @@ func TestCompareQueries(t *testing.T) {
 		t.Error("drifted cost metric should fail the comparison")
 	}
 	fresh[0].Metrics["a_queries"] = 100
+
+	// *_hitrate metrics are pinned exactly like *_queries.
+	fresh[0].Metrics["c_hitrate"] = 0.9374
+	if err := compareQueries(fresh, path); err == nil {
+		t.Error("drifted hit-rate metric should fail the comparison")
+	}
+	fresh[0].Metrics["c_hitrate"] = 0.9375
 
 	// Benchmarks only in the fresh snapshot are tolerated: a PR may add
 	// microbenchmarks with no baseline counterpart.
