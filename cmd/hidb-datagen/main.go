@@ -1,20 +1,37 @@
 // Command hidb-datagen materializes the synthetic workloads as TSV files,
-// so they can be inspected, loaded elsewhere, or diffed across seeds.
+// so they can be inspected, loaded elsewhere, or diffed across seeds — or,
+// with -disk, writes them straight into a disk-resident store file that
+// hidb-server's -engine disk (or hidb.OpenDisk) serves without a build
+// step.
 //
 // Usage:
 //
 //	hidb-datagen -dataset nsf -out nsf.tsv
 //	hidb-datagen -dataset hard-numeric -m 50 -d 4 -k 16 -out hard.tsv
+//	hidb-datagen -pattern path -tier 1m -out path-1m.tsv
+//	hidb-datagen -pattern rand -tier 10m -disk rand-10m.hidb -bands 8
+//
+// -pattern plus -tier selects the scale-tier factory (patterns seq, rand,
+// real, path; tiers 10k, 100k, 1m, 10m) instead of -dataset. Tiered
+// datasets stream: writing the 10m tier — TSV or disk store — holds only a
+// few tuples in memory at a time, so it works on any machine. Tier tuples
+// are emitted in rank order; a disk store written with -disk therefore
+// serves them with identity priority (no permutation seed).
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
+	"iter"
 	"log"
 	"os"
+	"slices"
 
 	"hidb/internal/datagen"
+	"hidb/internal/dataspace"
+	"hidb/internal/diskstore"
 )
 
 func main() {
@@ -22,7 +39,11 @@ func main() {
 	log.SetPrefix("hidb-datagen: ")
 
 	dataset := flag.String("dataset", "yahoo", "dataset: yahoo, nsf, adult, adult-numeric, hard-numeric, hard-categorical")
+	pattern := flag.String("pattern", "", "scale-tier pattern: seq, rand, real, path (with -tier; overrides -dataset)")
+	tier := flag.String("tier", "1m", "scale-tier size: 10k, 100k, 1m, 10m (with -pattern)")
 	out := flag.String("out", "", "output TSV path (default: stdout)")
+	disk := flag.String("disk", "", "write a disk-resident store file here instead of TSV")
+	bands := flag.Int("bands", 1, "priority-band partitions of the -disk store (match the server's -shards)")
 	n := flag.Int("n", 0, "override cardinality (0 = paper size)")
 	seed := flag.Uint64("seed", 11, "generator seed")
 	m := flag.Int("m", 50, "hard-numeric: number of groups")
@@ -31,13 +52,22 @@ func main() {
 	u := flag.Int("u", 8, "hard-categorical: domain size")
 	flag.Parse()
 
-	ds, err := makeDataset(*dataset, *n, *seed, *m, *d, *k, *u)
+	name, schema, rows, total, err := makeSource(*dataset, *pattern, *tier, *n, *seed, *m, *d, *k, *u)
 	if err != nil {
 		log.Print(err)
 		os.Exit(2)
 	}
 
-	w := bufio.NewWriter(os.Stdout)
+	if *disk != "" {
+		if err := diskstore.Build(*disk, schema, rows, diskstore.BuildOptions{Bands: *bands}); err != nil {
+			log.Print(err)
+			os.Exit(1)
+		}
+		log.Printf("%s: %d tuples, %d attributes -> %s", name, total, schema.Dims(), *disk)
+		return
+	}
+
+	var w io.Writer = os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
@@ -45,29 +75,67 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		w = bufio.NewWriter(f)
+		w = f
 	}
-	for i := 0; i < ds.Schema.Dims(); i++ {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < schema.Dims(); i++ {
 		if i > 0 {
-			fmt.Fprint(w, "\t")
+			fmt.Fprint(bw, "\t")
 		}
-		fmt.Fprint(w, ds.Schema.Attr(i).Name)
+		fmt.Fprint(bw, schema.Attr(i).Name)
 	}
-	fmt.Fprintln(w)
-	for _, t := range ds.Tuples {
+	fmt.Fprintln(bw)
+	for t := range rows {
 		for i, v := range t {
 			if i > 0 {
-				fmt.Fprint(w, "\t")
+				fmt.Fprint(bw, "\t")
 			}
-			fmt.Fprint(w, v)
+			fmt.Fprint(bw, v)
 		}
-		fmt.Fprintln(w)
+		fmt.Fprintln(bw)
 	}
-	if err := w.Flush(); err != nil {
+	if err := bw.Flush(); err != nil {
 		log.Print(err)
 		os.Exit(1)
 	}
-	log.Printf("%s: %d tuples, %d attributes", ds.Name, ds.N(), ds.Schema.Dims())
+	log.Printf("%s: %d tuples, %d attributes", name, total, schema.Dims())
+}
+
+// makeSource resolves the flags to a named tuple stream. Classic datasets
+// materialize (their generators build bags); tiered datasets stream.
+func makeSource(dataset, pattern, tier string, n int, seed uint64, m, d, k, u int) (string, *dataspace.Schema, iter.Seq[dataspace.Tuple], int, error) {
+	if pattern != "" {
+		p, t, err := parseTier(pattern, tier)
+		if err != nil {
+			return "", nil, nil, 0, err
+		}
+		name := fmt.Sprintf("%s-%s", p, t)
+		return name, datagen.TierSchema(t), datagen.TieredSeq(p, t, seed), t.N(), nil
+	}
+	ds, err := makeDataset(dataset, n, seed, m, d, k, u)
+	if err != nil {
+		return "", nil, nil, 0, err
+	}
+	return ds.Name, ds.Schema, slices.Values([]dataspace.Tuple(ds.Tuples)), ds.N(), nil
+}
+
+func parseTier(pattern, tier string) (datagen.Pattern, datagen.Tier, error) {
+	var p datagen.Pattern
+	var found bool
+	for _, c := range datagen.Patterns {
+		if c.String() == pattern {
+			p, found = c, true
+		}
+	}
+	if !found {
+		return 0, 0, fmt.Errorf("unknown -pattern %q (want seq, rand, real or path)", pattern)
+	}
+	for _, c := range datagen.Tiers {
+		if c.String() == tier {
+			return p, c, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("unknown -tier %q (want 10k, 100k, 1m or 10m)", tier)
 }
 
 func makeDataset(name string, n int, seed uint64, m, d, k, u int) (*datagen.Dataset, error) {

@@ -18,6 +18,17 @@
 // batched crawls from one process. Responses are bit-identical to the
 // unsharded store.
 //
+// -engine disk serves the dataset from a persistent columnar store file,
+// <data-dir>/<dataset>.hidb, mapped read-only and queried straight off
+// disk pages — the configuration for datasets larger than RAM. The file is
+// built on first run (in the same priority permutation the in-memory
+// engine uses, partitioned into -shards bands) and reused thereafter, so
+// restarts skip dataset generation entirely. Responses and query counts
+// are bit-identical to -engine mem; GET /stats reports the engine kind and
+// the disk block cache's hit/miss counters:
+//
+//	hidb-server -dataset yahoo -engine disk -data-dir ./data -shards 8
+//
 // Any of -quota-per-client, -rate-per-client, -session-ttl or -journal-dir
 // switches the server to per-client sessions: each API token
 // (Authorization: Bearer) gets its own quota, token-bucket rate limit
@@ -60,12 +71,14 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"slices"
 	"syscall"
 	"time"
 
@@ -92,6 +105,36 @@ func loadFile(path string) (*datagen.Dataset, error) {
 	return loaded.Dataset, nil
 }
 
+// openDiskServer serves the dataset from a disk-resident store under dir:
+// <dir>/<name>.hidb, built on first run from the dataset in the same
+// priority permutation the in-memory engine would use, so responses — and
+// the paper's query counts — are bit-identical across -engine values. The
+// band count is fixed at build time; a rebuilt store (delete the file)
+// picks up a changed -shards.
+func openDiskServer(dir string, ds *datagen.Dataset, k int, prioritySeed uint64, shards int) (*hidb.LocalServer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, ds.Name+".hidb")
+	store, err := hidb.OpenDisk(path, hidb.DiskOpenOptions{})
+	if errors.Is(err, os.ErrNotExist) {
+		log.Printf("building disk store %s (n=%d, bands=%d)", path, ds.N(), shards)
+		byRank := hidb.RankOrder(ds.Tuples, prioritySeed)
+		if err := hidb.BuildDisk(path, ds.Schema, slices.Values(byRank), hidb.DiskBuildOptions{Bands: shards}); err != nil {
+			return nil, err
+		}
+		store, err = hidb.OpenDisk(path, hidb.DiskOpenOptions{})
+	}
+	if err != nil {
+		var ce *hidb.DiskCorruptionError
+		if errors.As(err, &ce) {
+			return nil, fmt.Errorf("%w (quarantined as %s.corrupt; restart to rebuild)", ce, path)
+		}
+		return nil, err
+	}
+	return hidb.NewDiskLocalServer(store, k)
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hidb-server: ")
@@ -105,6 +148,8 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	quota := flag.Int("quota", 0, "global max queries served (0 = unlimited; exclusive with per-client sessions)")
 	shards := flag.Int("shards", 1, "priority-range shards of the store (>1 answers /batch with a parallel fan-out)")
+	engine := flag.String("engine", "mem", "store engine: mem (in-memory columnar store) or disk (persistent columnar store under -data-dir, built on first run; responses bit-identical)")
+	dataDir := flag.String("data-dir", "", "directory holding disk-engine store files (required with -engine disk)")
 	quotaPerClient := flag.Int("quota-per-client", 0, "per-token query budget per session window (0 = unlimited; enables sessions)")
 	ratePerClient := flag.Float64("rate-per-client", 0, "per-token sustained queries/second, token-bucket throttled (0 = unthrottled; enables sessions)")
 	rateBurst := flag.Int("rate-burst", 0, "token-bucket burst for -rate-per-client (0 = ceil of the rate)")
@@ -140,10 +185,22 @@ func main() {
 		os.Exit(2)
 	}
 	var srv *hidb.LocalServer
-	if *shards > 1 {
-		srv, err = hidb.NewShardedLocalServer(ds.Schema, ds.Tuples, *k, *prioritySeed, *shards)
-	} else {
-		srv, err = hidb.NewLocalServer(ds.Schema, ds.Tuples, *k, *prioritySeed)
+	switch *engine {
+	case "mem":
+		if *shards > 1 {
+			srv, err = hidb.NewShardedLocalServer(ds.Schema, ds.Tuples, *k, *prioritySeed, *shards)
+		} else {
+			srv, err = hidb.NewLocalServer(ds.Schema, ds.Tuples, *k, *prioritySeed)
+		}
+	case "disk":
+		if *dataDir == "" {
+			log.Print("-engine disk requires -data-dir")
+			os.Exit(2)
+		}
+		srv, err = openDiskServer(*dataDir, ds, *k, *prioritySeed, *shards)
+	default:
+		log.Printf("unknown -engine %q (want mem or disk)", *engine)
+		os.Exit(2)
 	}
 	if err != nil {
 		log.Print(err)
@@ -174,8 +231,8 @@ func main() {
 	if sessions {
 		mode = "per-client"
 	}
-	log.Printf("serving %s (n=%d, k=%d, max duplicates=%d, shards=%d, quota mode=%s) on %s",
-		ds.Name, ds.N(), *k, ds.Tuples.MaxMultiplicity(), srv.Shards(), mode, *addr)
+	log.Printf("serving %s (n=%d, k=%d, max duplicates=%d, engine=%s, shards=%d, quota mode=%s) on %s",
+		ds.Name, ds.N(), *k, ds.Tuples.MaxMultiplicity(), srv.EngineStats().Kind, srv.Shards(), mode, *addr)
 	// A clean shutdown persists live sessions' journals, so resumable
 	// crawls survive a server restart, not just an eviction. The signal
 	// ctx is also every request's base context: on SIGINT/SIGTERM the

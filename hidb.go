@@ -86,6 +86,43 @@
 // planner's counters (cached shapes, hit rate, per-path execution counts),
 // and a session server reports them on GET /stats.
 //
+// # On-disk stores
+//
+// The same engine contract has a second, disk-resident implementation for
+// datasets larger than RAM. BuildDisk streams tuples in rank order — an
+// iterator, never a materialized bag — into an immutable columnar store
+// file: per-attribute column segments, per-band posting-list and
+// sorted-projection indexes, and a checksummed footer carrying the schema
+// and the planner's selectivity sample. OpenDisk maps the file read-only
+// and serves Select/Count straight off the mapped pages through a small
+// cache of materialized hot blocks, so serving a 10M-tuple store costs
+// megabytes of heap, not gigabytes. NewDiskLocalServer wraps the opened
+// store as a LocalServer; everything stacked on a local server — sessions,
+// journals, the shared cache, the HTTP handler — runs unchanged on top.
+//
+//	_ = hidb.BuildDisk(path, schema, rows, hidb.DiskBuildOptions{Bands: 8})
+//	store, _ := hidb.OpenDisk(path, hidb.DiskOpenOptions{})
+//	defer store.Close()
+//	srv, _ := hidb.NewDiskLocalServer(store, 1000)
+//
+// Responses are bit-identical to the in-memory engine's: the store is laid
+// out in the same priority order (build from RankOrder(tuples, seed) to
+// match NewLocalServer's permutation), the persisted sample reproduces the
+// in-memory planner's selectivity estimates exactly, and the per-band
+// partition mirrors the sharded store's — so plans, answers and the
+// paper's query counts are all unchanged by the engine swap.
+//
+// Builds are crash-safe the same way journals are (write temp, fsync,
+// rename): a crash mid-build leaves no partial file at the target path.
+// Opening validates the footer's checksum and structure; a torn or
+// bit-flipped file is quarantined as path+".corrupt" and reported as a
+// *DiskCorruptionError. DiskOpenOptions.Verify (or the store's Verify
+// method) additionally re-checksums every data segment — worth paying at
+// startup for long-lived servers. Pick the disk engine when the dataset
+// dwarfs RAM or a prebuilt store should outlive the process; pick the
+// in-memory engine for anything that fits — steady-state it is faster by
+// a small constant factor, with no build step.
+//
 // # Simulation and fault injection
 //
 // Two deterministic test harnesses ship with the library. NewSimClock /
@@ -164,6 +201,7 @@ import (
 	"hidb/internal/core"
 	"hidb/internal/datagen"
 	"hidb/internal/dataspace"
+	"hidb/internal/diskstore"
 	"hidb/internal/hiddendb"
 	"hidb/internal/httpclient"
 	"hidb/internal/httpserver"
@@ -531,6 +569,56 @@ func LoadJournalFile(path string) (*Journal, error) { return journal.LoadFile(pa
 // with the same journal fast-forwards through everything already paid for —
 // the way to finish a crawl across several per-IP query budgets.
 func WithJournal(srv Server, j *Journal) (Server, error) { return journal.Wrap(srv, j) }
+
+// On-disk store types. See the diskstore package and the package doc's
+// on-disk section.
+type (
+	// DiskStore is an opened disk-resident columnar store: an Engine
+	// serving Select/Count off mapped file pages. Close it when done.
+	DiskStore = diskstore.Store
+	// DiskBuildOptions tunes BuildDisk (the priority-range band count).
+	DiskBuildOptions = diskstore.BuildOptions
+	// DiskOpenOptions tunes OpenDisk (block-cache size, full-file verify).
+	DiskOpenOptions = diskstore.OpenOptions
+	// DiskCorruptionError reports a torn or bit-flipped store file; the
+	// damaged file is quarantined as path+".corrupt".
+	DiskCorruptionError = diskstore.CorruptionError
+	// EngineStats identifies a server's engine ("mem" or "disk") and, for
+	// the disk engine, its block-cache hit/miss counters. A session server
+	// reports them on GET /stats and in the /crawl terminal event.
+	EngineStats = index.EngineStats
+)
+
+// BuildDisk streams rows — which must arrive in descending priority order;
+// tuple r of the iteration gets rank r — into a disk-resident columnar
+// store at path. The write is crash-safe (temp file, fsync, rename); the
+// iterator is consumed once; memory stays bounded regardless of the
+// dataset's size. opts.Bands partitions the store into priority-range
+// bands for parallel batch fan-out, like NewShardedLocalServer's shards.
+func BuildDisk(path string, schema *Schema, rows iter.Seq[Tuple], opts DiskBuildOptions) error {
+	return diskstore.Build(path, schema, rows, opts)
+}
+
+// OpenDisk maps a store built by BuildDisk and returns it ready to serve.
+// A damaged file is quarantined as path+".corrupt" and reported as a
+// *DiskCorruptionError; see the package doc's on-disk section.
+func OpenDisk(path string, opts DiskOpenOptions) (*DiskStore, error) {
+	return diskstore.Open(path, opts)
+}
+
+// RankOrder returns the bag in the tuple-priority order NewLocalServer
+// gives it under the same seed. Feed the result to BuildDisk and the disk
+// store answers bit-identically to NewLocalServer(schema, tuples, k, seed).
+func RankOrder(tuples Bag, seed uint64) []Tuple { return hiddendb.RankOrder(tuples, seed) }
+
+// NewDiskLocalServer wraps an opened disk store as a LocalServer with
+// return limit k: the full server contract — Answer, AnswerBatch, quotas,
+// sessions, journals, the HTTP stack — over the disk engine. The store's
+// rank order is its tuple priority (fixed at build time), so no seed is
+// taken here; LocalServer.EngineStats exposes the block-cache counters.
+func NewDiskLocalServer(store *DiskStore, k int) (*LocalServer, error) {
+	return hiddendb.NewLocalEngine(store, k)
+}
 
 // Workload generators (see datagen for the fidelity discussion).
 var (

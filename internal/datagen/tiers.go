@@ -2,6 +2,7 @@ package datagen
 
 import (
 	"fmt"
+	"iter"
 
 	"hidb/internal/dataspace"
 	"hidb/internal/simrand"
@@ -50,10 +51,15 @@ const (
 	Tier10K Tier = iota
 	Tier100K
 	Tier1M
+	// Tier10M is the larger-than-RAM tier: materializing it costs
+	// gigabytes, so it is meant to be streamed (TieredSeq) into the disk
+	// engine rather than built with Tiered.
+	Tier10M
 )
 
-// Tiers lists every tier, smallest first.
-var Tiers = []Tier{Tier10K, Tier100K, Tier1M}
+// Tiers lists every tier, smallest first. Code that materializes every
+// tier should stop before Tier10M (see its comment).
+var Tiers = []Tier{Tier10K, Tier100K, Tier1M, Tier10M}
 
 // N returns the tier's tuple count.
 func (t Tier) N() int {
@@ -64,6 +70,8 @@ func (t Tier) N() int {
 		return 100_000
 	case Tier1M:
 		return 1_000_000
+	case Tier10M:
+		return 10_000_000
 	default:
 		return 0
 	}
@@ -77,6 +85,8 @@ func (t Tier) String() string {
 		return "100k"
 	case Tier1M:
 		return "1m"
+	case Tier10M:
+		return "10m"
 	default:
 		return fmt.Sprintf("tier(%d)", int(t))
 	}
@@ -136,77 +146,95 @@ func TierSchema(tier Tier) *dataspace.Schema {
 	return sch
 }
 
+// TieredSeq streams the tuples of one deterministic tiered dataset in
+// descending priority order — tuple r of the iteration is rank r — without
+// ever materializing the relation. It yields exactly the tuples Tiered
+// materializes for the same (pattern, tier, seed) triple, bit for bit
+// (Tiered is implemented on top of it), which is what lets the disk
+// builder write a Tier10M store, and a crawl verify it, on a small heap.
+// Each range over the sequence restarts the generator from the seed.
+func TieredSeq(p Pattern, tier Tier, seed uint64) iter.Seq[dataspace.Tuple] {
+	n := tier.N()
+	sch := TierSchema(tier)
+	return func(yield func(dataspace.Tuple) bool) {
+		rng := simrand.New(seed ^ uint64(p)<<32 ^ uint64(tier)<<40)
+		var zipfs []*simrand.Zipf
+		if p == PatternRealistic {
+			zipfs = []*simrand.Zipf{
+				simrand.NewZipf(rng, tierDomain, 1.07),
+				simrand.NewZipf(rng, tierDomain, 1.07),
+				simrand.NewZipf(rng, tierDomain, 1.07),
+				simrand.NewZipf(rng, tierWideDomain, 1.2),
+			}
+		}
+		tail := n - n/pathoTailFrac
+		for r := 0; r < n; r++ {
+			t := make(dataspace.Tuple, sch.Dims())
+			switch p {
+			case PatternSequential:
+				// Nested cycles: C1 flips every rank, C2 every 32 ranks, C3
+				// every 1024 — long runs of equal values at every level.
+				t[0] = int64(r%tierDomain) + 1
+				t[1] = int64(r/tierDomain%tierDomain) + 1
+				t[2] = int64(r/(tierDomain*tierDomain)%tierDomain) + 1
+				t[3] = int64(r%tierWideDomain) + 1
+				t[4] = int64(r)
+				t[5] = int64(r % (1 << 20))
+			case PatternRandom:
+				t[0] = rng.IntRange(1, tierDomain)
+				t[1] = rng.IntRange(1, tierDomain)
+				t[2] = rng.IntRange(1, tierDomain)
+				t[3] = rng.IntRange(1, tierWideDomain)
+				t[4] = rng.IntRange(0, int64(n-1))
+				t[5] = rng.IntRange(0, 1<<20)
+			case PatternRealistic:
+				t[0] = zipfs[0].Draw()
+				t[1] = zipfs[1].Draw()
+				t[2] = zipfs[2].Draw()
+				t[3] = zipfs[3].Draw()
+				t[4] = int64(r) // price-like: correlated with priority
+				t[5] = rng.IntRange(0, 1<<20)
+			case PatternPathological:
+				if r >= tail {
+					// The needle conjunction lives only here, at the very
+					// bottom of the priority order.
+					t[0], t[1], t[2] = PathoNeedle, PathoNeedle, PathoNeedle
+				} else {
+					for i := 0; i < 3; i++ {
+						if rng.Bool(pathoNeedleProb) {
+							t[i] = PathoNeedle
+						} else {
+							t[i] = rng.IntRange(PathoNeedle+1, tierDomain)
+						}
+					}
+					if t[0] == PathoNeedle && t[1] == PathoNeedle && t[2] == PathoNeedle {
+						t[2] = PathoNeedle + 1
+					}
+				}
+				t[3] = rng.IntRange(1, tierWideDomain)
+				t[4] = int64(r)
+				t[5] = rng.IntRange(0, 1<<20)
+			}
+			if !yield(t) {
+				return
+			}
+		}
+	}
+}
+
 // Tiered builds one deterministic dataset of the given pattern and size:
 // the same (pattern, tier, seed) triple always yields the same tuples.
 // Tuple order is the intended priority order — rank r is Tuples[r] — so the
-// slice can feed index.New directly.
+// slice can feed index.New directly. It materializes TieredSeq; prefer the
+// sequence for Tier10M (see the tier's comment).
 func Tiered(p Pattern, tier Tier, seed uint64) *Dataset {
-	n := tier.N()
-	sch := TierSchema(tier)
-	rng := simrand.New(seed ^ uint64(p)<<32 ^ uint64(tier)<<40)
-	tuples := make(dataspace.Bag, 0, n)
-	var zipfs []*simrand.Zipf
-	if p == PatternRealistic {
-		zipfs = []*simrand.Zipf{
-			simrand.NewZipf(rng, tierDomain, 1.07),
-			simrand.NewZipf(rng, tierDomain, 1.07),
-			simrand.NewZipf(rng, tierDomain, 1.07),
-			simrand.NewZipf(rng, tierWideDomain, 1.2),
-		}
-	}
-	tail := n - n/pathoTailFrac
-	for r := 0; r < n; r++ {
-		t := make(dataspace.Tuple, sch.Dims())
-		switch p {
-		case PatternSequential:
-			// Nested cycles: C1 flips every rank, C2 every 32 ranks, C3
-			// every 1024 — long runs of equal values at every level.
-			t[0] = int64(r%tierDomain) + 1
-			t[1] = int64(r/tierDomain%tierDomain) + 1
-			t[2] = int64(r/(tierDomain*tierDomain)%tierDomain) + 1
-			t[3] = int64(r%tierWideDomain) + 1
-			t[4] = int64(r)
-			t[5] = int64(r % (1 << 20))
-		case PatternRandom:
-			t[0] = rng.IntRange(1, tierDomain)
-			t[1] = rng.IntRange(1, tierDomain)
-			t[2] = rng.IntRange(1, tierDomain)
-			t[3] = rng.IntRange(1, tierWideDomain)
-			t[4] = rng.IntRange(0, int64(n-1))
-			t[5] = rng.IntRange(0, 1<<20)
-		case PatternRealistic:
-			t[0] = zipfs[0].Draw()
-			t[1] = zipfs[1].Draw()
-			t[2] = zipfs[2].Draw()
-			t[3] = zipfs[3].Draw()
-			t[4] = int64(r) // price-like: correlated with priority
-			t[5] = rng.IntRange(0, 1<<20)
-		case PatternPathological:
-			if r >= tail {
-				// The needle conjunction lives only here, at the very
-				// bottom of the priority order.
-				t[0], t[1], t[2] = PathoNeedle, PathoNeedle, PathoNeedle
-			} else {
-				for i := 0; i < 3; i++ {
-					if rng.Bool(pathoNeedleProb) {
-						t[i] = PathoNeedle
-					} else {
-						t[i] = rng.IntRange(PathoNeedle+1, tierDomain)
-					}
-				}
-				if t[0] == PathoNeedle && t[1] == PathoNeedle && t[2] == PathoNeedle {
-					t[2] = PathoNeedle + 1
-				}
-			}
-			t[3] = rng.IntRange(1, tierWideDomain)
-			t[4] = int64(r)
-			t[5] = rng.IntRange(0, 1<<20)
-		}
+	tuples := make(dataspace.Bag, 0, tier.N())
+	for t := range TieredSeq(p, tier, seed) {
 		tuples = append(tuples, t)
 	}
 	return &Dataset{
 		Name:   fmt.Sprintf("%s-%s", p, tier),
-		Schema: sch,
+		Schema: TierSchema(tier),
 		Tuples: tuples,
 	}
 }

@@ -1,0 +1,157 @@
+// The pinned block cache.
+//
+// Planning and predicate filtering read the mmap'd columns directly — the
+// OS page cache serves them — but result emission must materialize heap
+// tuples (the Engine contract returns []dataspace.Tuple). A block gathers
+// blockRanks consecutive ranks' values out of the d scattered column
+// segments into one flat, cache-friendly array; emitting a tuple then
+// copies d words out of that array instead of touching d distant mapped
+// pages. A crawl's emissions are extremely skewed toward the top ranks
+// (every overflowing query returns the same top-k of its region), so a
+// small cache of hot blocks absorbs almost all of the gather cost.
+//
+// Emitted tuples are always fresh copies, never views into a block: a
+// caller (a crawl's result bag, a session journal) may retain every tuple
+// it ever saw, and a 48-byte tuple pinning its whole 12 KiB block — worse,
+// a different rematerialization of it after each eviction — would leak the
+// store's size in blocks through the cache. Copying costs d words per
+// emitted row, the same as the in-memory engine's construction cost, and
+// keeps retained memory proportional to what the caller actually holds.
+//
+// Lookup is a mutex-guarded map + LRU list — Selects running on concurrent
+// goroutines (the batch fan-out) share it safely, and the critical section
+// is a map probe plus a list splice. Hit/miss counters are atomics
+// surfaced through Store.EngineStats and, over the wire,
+// wire.EngineStatsMsg.
+package diskstore
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"hidb/internal/dataspace"
+)
+
+// blockRanks is the block width: 256 ranks × d attributes ≈ 12 KiB of
+// gathered payload for the 6-attribute tier schema — big enough to
+// amortize the gather loop, small enough that a few hot blocks cover the
+// top-of-rank working set.
+const blockRanks = 256
+
+// defaultCacheBlocks bounds the resident blocks when OpenOptions does not
+// say otherwise: 1024 blocks ≈ 256k gathered rows.
+const defaultCacheBlocks = 1024
+
+// promoteTouches is how many misses a block takes before it is gathered
+// into the cache. Gathering speculatively on early touches is a net loss:
+// a complete crawl emits most ranks only a handful of times, and paying a
+// 256-row gather (plus the allocation) for every such cold block costs
+// far more than the d-word direct copies it replaces — profiled at ~5x
+// the whole crawl's useful work, with the cache thrashing whenever the
+// touched-block set outgrows the cap. A high threshold keeps cold sweeps
+// on the cheap direct path; the genuinely hot blocks (the re-emitted
+// top-of-rank working set) sail past it almost immediately — on a full 1M
+// crawl the cache still serves ~30% of all row reads from promoted
+// blocks, at crawl times on par with the in-memory engine's.
+const promoteTouches = 16
+
+// cacheBlock holds one block's values row-major: rank r of the block
+// occupies flat[(r%blockRanks)*d : +d].
+type cacheBlock struct {
+	id   int32
+	flat []int64
+}
+
+// blockCache gathers and pins hot rank blocks of the mapped columns.
+type blockCache struct {
+	cols [][]int64
+	n    int
+	cap  int
+
+	mu      sync.Mutex
+	lru     *list.List // front = most recently used
+	blocks  map[int32]*list.Element
+	touches map[int32]int8 // miss counts of not-yet-promoted blocks
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+func newBlockCache(cols [][]int64, n, capBlocks int) *blockCache {
+	if capBlocks < 1 {
+		capBlocks = defaultCacheBlocks
+	}
+	return &blockCache{
+		cols:    cols,
+		n:       n,
+		cap:     capBlocks,
+		lru:     list.New(),
+		blocks:  make(map[int32]*list.Element, capBlocks),
+		touches: make(map[int32]int8),
+	}
+}
+
+// row returns a freshly allocated copy of the tuple at global rank r —
+// safe for the caller to retain indefinitely (see the package comment on
+// why it must never be a view into the block).
+func (c *blockCache) row(r int32) dataspace.Tuple {
+	id := r / blockRanks
+	d := len(c.cols)
+	t := make(dataspace.Tuple, d)
+	off := int(r%blockRanks) * d
+	c.mu.Lock()
+	if el, ok := c.blocks[id]; ok {
+		c.lru.MoveToFront(el)
+		copy(t, el.Value.(*cacheBlock).flat[off:off+d])
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return t
+	}
+	if c.touches[id]++; c.touches[id] >= promoteTouches {
+		delete(c.touches, id)
+		blk := c.materialize(id)
+		el := c.lru.PushFront(blk)
+		c.blocks[id] = el
+		if c.lru.Len() > c.cap {
+			old := c.lru.Back()
+			c.lru.Remove(old)
+			delete(c.blocks, old.Value.(*cacheBlock).id)
+		}
+		copy(t, blk.flat[off:off+d])
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return t
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	// Cold path: copy straight out of the mapped columns.
+	for i, col := range c.cols {
+		t[i] = col[r]
+	}
+	return t
+}
+
+// materialize gathers the block's rows from the mapped columns into one
+// flat row-major array.
+func (c *blockCache) materialize(id int32) *cacheBlock {
+	base := int(id) * blockRanks
+	cnt := min(blockRanks, c.n-base)
+	d := len(c.cols)
+	flat := make([]int64, cnt*d)
+	for i, col := range c.cols {
+		seg := col[base : base+cnt]
+		for j, v := range seg {
+			flat[j*d+i] = v
+		}
+	}
+	return &cacheBlock{id: id, flat: flat}
+}
+
+// counters snapshots the hit/miss counters and the resident block count.
+func (c *blockCache) counters() (hits, misses int64, resident int) {
+	c.mu.Lock()
+	resident = c.lru.Len()
+	c.mu.Unlock()
+	return c.hits.Load(), c.misses.Load(), resident
+}

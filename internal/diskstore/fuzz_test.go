@@ -1,0 +1,98 @@
+package diskstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"hash/crc32"
+	"os"
+	"testing"
+
+	"hidb/internal/datagen"
+)
+
+// FuzzDecodeFooter fuzzes the footer/trailer decoder over arbitrary file
+// images. decodeFooter is a pure function of the bytes, so the target
+// needs no filesystem: whatever the fuzzer mutates, the decoder must
+// either accept a structurally valid footer or return *CorruptionError —
+// never panic, never return a footer that fails its own validation.
+func FuzzDecodeFooter(f *testing.F) {
+	// Seed 1: a pristine store file.
+	path := f.TempDir() + "/seed.hidb"
+	if err := Build(path, datagen.TierSchema(datagen.Tier10K), datagen.TieredSeq(datagen.PatternRandom, datagen.Tier10K, 1), BuildOptions{Bands: 2}); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	// Seeds 2..n: truncations at interesting boundaries.
+	for _, cut := range []int{0, 1, headerLen, headerLen + 7, len(valid) - trailerLen, len(valid) - trailerLen + 1, len(valid) - 8, len(valid) - 1} {
+		f.Add(append([]byte(nil), valid[:cut]...))
+	}
+	// Bit-flips across header, segment region, footer frame, trailer.
+	for _, off := range []int{0, headerLen + 3, len(valid) / 2, len(valid) - trailerLen - 5, len(valid) - trailerLen + 2, len(valid) - 4} {
+		mut := append([]byte(nil), valid...)
+		mut[off] ^= 0x20
+		f.Add(mut)
+	}
+	// A footer that duplicates a segment directory entry, re-framed with a
+	// correct CRC so the fuzzer starts past the checksum wall.
+	f.Add(reframeFooter(f, valid, func(ft *fileFooter) {
+		ft.Segments = append(ft.Segments, ft.Segments[len(ft.Segments)-1])
+	}))
+	// A footer whose segment extents escape the data region.
+	f.Add(reframeFooter(f, valid, func(ft *fileFooter) {
+		ft.Segments[0].Off = 1 << 40
+	}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ft, err := decodeFooter(data)
+		if err != nil {
+			var ce *CorruptionError
+			if !errors.As(err, &ce) {
+				t.Fatalf("decodeFooter returned untyped error %v", err)
+			}
+			if ce.Path != "" {
+				t.Fatalf("pure decode set Path=%q", ce.Path)
+			}
+			return
+		}
+		// Accepted footers must be self-consistent on re-validation.
+		if err := validateFooter(ft, int64(len(data))); err != nil {
+			t.Fatalf("decoded footer fails its own validation: %v", err)
+		}
+	})
+}
+
+// reframeFooter decodes a valid file's footer, applies mutate, and
+// re-writes footer frame + trailer with correct CRC and lengths so only
+// the directory content — not the framing — is damaged.
+func reframeFooter(f *testing.F, valid []byte, mutate func(*fileFooter)) []byte {
+	f.Helper()
+	ft, err := decodeFooter(valid)
+	if err != nil {
+		f.Fatal(err)
+	}
+	mutate(ft)
+	payload, err := json.Marshal(ft)
+	if err != nil {
+		f.Fatal(err)
+	}
+	footOff := int64(binary.BigEndian.Uint64(valid[len(valid)-trailerLen:]))
+	out := append([]byte(nil), valid[:footOff]...)
+	var u32 [4]byte
+	binary.BigEndian.PutUint32(u32[:], uint32(len(payload)))
+	out = append(out, u32[:]...)
+	out = append(out, payload...)
+	binary.BigEndian.PutUint32(u32[:], crc32.ChecksumIEEE(payload))
+	out = append(out, u32[:]...)
+	var u64 [8]byte
+	binary.BigEndian.PutUint64(u64[:], uint64(footOff))
+	out = append(out, u64[:]...)
+	binary.BigEndian.PutUint64(u64[:], uint64(len(payload)))
+	out = append(out, u64[:]...)
+	out = append(out, trailerMagic...)
+	return out
+}

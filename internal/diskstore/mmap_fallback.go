@@ -1,0 +1,26 @@
+//go:build !unix
+
+package diskstore
+
+import (
+	"io"
+	"os"
+	"unsafe"
+)
+
+// mapFile on platforms without mmap reads the whole file into memory. The
+// backing array is allocated as []uint64 so the byte view is 8-aligned and
+// the int64/int32 segment views stay valid casts, exactly as on the mmap
+// path. Larger-than-RAM stores are only larger-than-RAM where mmap exists;
+// everywhere else the engine still works, it just pays the footprint.
+func mapFile(f *os.File, size int64) (data []byte, unmap func() error, err error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	words := make([]uint64, (size+7)/8)
+	b := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), b); err != nil {
+		return nil, nil, err
+	}
+	return b, func() error { return nil }, nil
+}

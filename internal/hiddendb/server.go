@@ -178,6 +178,30 @@ func NewLocalSharded(schema *dataspace.Schema, bag dataspace.Bag, k int, seed ui
 	return &Local{store: store, k: k}, nil
 }
 
+// NewLocalEngine wraps an already-built index.Engine — an in-memory Store
+// or Sharded store, or a diskstore.Store opened from a file — as a local
+// server with return limit k. The engine's rank order is taken as the
+// priority order verbatim; it is the caller's job to have arranged it (the
+// disk builder bakes the permutation in at build time, so an opened store
+// answers bit-identically to NewLocal over the same bag and seed).
+func NewLocalEngine(store index.Engine, k int) (*Local, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("hiddendb: return limit k must be >= 1, got %d", k)
+	}
+	if store == nil {
+		return nil, fmt.Errorf("hiddendb: nil engine")
+	}
+	return &Local{store: store, k: k}, nil
+}
+
+// RankOrder arranges the bag in the descending priority order the local
+// servers use: the seed's random permutation. Exported so a disk-store
+// build can bake the exact NewLocal priority order into the file.
+func RankOrder(bag dataspace.Bag, seed uint64) []dataspace.Tuple {
+	byRank, _ := rankPermutation(bag, 1, seed)
+	return byRank
+}
+
 // rankPermutation arranges the bag in descending priority order per the
 // seed's random permutation.
 func rankPermutation(bag dataspace.Bag, k int, seed uint64) ([]dataspace.Tuple, error) {
@@ -251,10 +275,11 @@ func (l *Local) Schema() *dataspace.Schema { return l.store.Schema() }
 // hidden server would not expose this; it exists for experiments and tests.
 func (l *Local) Size() int { return l.store.Size() }
 
-// Shards returns the number of priority-range shards backing the server
-// (1 for an unsharded store).
+// Shards returns the number of priority-range partitions backing the
+// server — shards of an in-memory store, bands of a disk store, 1 for an
+// unpartitioned store.
 func (l *Local) Shards() int {
-	if s, ok := l.store.(*index.Sharded); ok {
+	if s, ok := l.store.(interface{ NumShards() int }); ok {
 		return s.NumShards()
 	}
 	return 1
@@ -268,6 +293,10 @@ func (l *Local) Dump() dataspace.Bag { return dataspace.Bag(l.store.All()) }
 // The counters are cumulative since construction and safe to read while
 // queries are in flight.
 func (l *Local) PlanStats() index.PlanStats { return l.store.PlanStats() }
+
+// EngineStats reports which engine implementation backs the server ("mem"
+// or "disk") and, for disk engines, the block-cache hit/miss counters.
+func (l *Local) EngineStats() index.EngineStats { return l.store.EngineStats() }
 
 // Counting wraps a Server and counts the queries that actually reach it.
 // This is the paper's cost metric. Safe for concurrent use: the counters

@@ -612,6 +612,7 @@ func (h *Handler) handleCrawl(w http.ResponseWriter, r *http.Request) {
 
 	res, err := crawler.Crawl(r.Context(), target, opts)
 	final := wire.CrawlEvent{Done: true, Queries: paid(), Tuples: tuplesSent, Skipped: msg.Skip - toSkip}
+	final.Engine = h.engineStats()
 	freeBreakdown(&final)
 	if res != nil {
 		final.Resolved = res.Resolved
@@ -716,7 +717,24 @@ func (h *Handler) handleStats(w http.ResponseWriter) {
 			Paths:   st.Paths,
 		}
 	}
+	msg.Engine = h.engineStats()
 	writeJSON(w, msg)
+}
+
+// engineStats snapshots the backing server's engine identity and cache
+// counters, or nil when the server does not expose them (a remote proxy).
+func (h *Handler) engineStats() *wire.EngineStatsMsg {
+	es, ok := h.srv.(interface{ EngineStats() index.EngineStats })
+	if !ok {
+		return nil
+	}
+	st := es.EngineStats()
+	return &wire.EngineStatsMsg{
+		Kind:        st.Kind,
+		CacheHits:   st.CacheHits,
+		CacheMisses: st.CacheMisses,
+		CacheBlocks: st.CacheBlocks,
+	}
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

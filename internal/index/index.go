@@ -95,9 +95,18 @@ import (
 // A Store is immutable after New and safe for concurrent readers.
 type Store struct {
 	schema *dataspace.Schema
+	// n is the relation size. For a row-backed store it equals
+	// len(byRank); an artifact-backed store (NewFromArtifacts) has no
+	// byRank, so the size is carried explicitly.
+	n int
 	// byRank lists the tuples in descending priority order: byRank[0] is
-	// the tuple the server prefers to return first.
+	// the tuple the server prefers to return first. nil for
+	// artifact-backed stores, which materialize rows through row instead.
 	byRank []dataspace.Tuple
+	// row materializes the tuple at a rank when byRank is nil — the hook
+	// an artifact-backed store (e.g. a disk store serving rows from
+	// mmap'd pages through a block cache) plugs its lazy row source into.
+	row func(r int32) dataspace.Tuple
 	// isCat flattens the schema's attribute kinds for branch-friendly
 	// predicate checks.
 	isCat []bool
@@ -164,6 +173,7 @@ func newWithStats(schema *dataspace.Schema, byRank []dataspace.Tuple, stats *Sel
 	n := len(byRank)
 	s := &Store{
 		schema:     schema,
+		n:          n,
 		byRank:     byRank,
 		scratch:    sync.Pool{New: func() any { return new([]int32) }},
 		words:      sync.Pool{New: func() any { p := make([]uint64, bitmapWords); return &p }},
@@ -227,15 +237,138 @@ func newWithStats(schema *dataspace.Schema, byRank []dataspace.Tuple, stats *Sel
 	return s, nil
 }
 
+// Artifacts is the set of prebuilt index structures an artifact-backed
+// Store is assembled from: the columnar mirror, the secondary indexes, the
+// shared selectivity sample, and a lazy row source. A disk store builds
+// these once at write time and hands Open'd slices (often aliasing mmap'd
+// file pages) straight to NewFromArtifacts, so the full planner and every
+// access path run unchanged against storage the Store does not own.
+//
+// Invariants the caller must uphold (they mirror what newWithStats builds):
+// Cols[i][r] is attribute i of the rank-r tuple; Post[i] maps each
+// categorical value to its ranks ascending; SortedVal[i]/SortedRank[i] list
+// numeric column i's values ascending (ties in rank order) with the rank of
+// each sorted cell; RankPos[i][r] is rank r's position in SortedVal[i]. All
+// slices are read-only after construction.
+type Artifacts struct {
+	// N is the relation size (every per-attribute slice has length N).
+	N int
+	// Cols is the columnar relation, one []int64 per attribute.
+	Cols [][]int64
+	// Post holds the posting-list index of each categorical attribute
+	// (nil entries for numeric attributes).
+	Post []map[int64][]int32
+	// SortedVal, SortedRank and RankPos hold the sorted-segment index of
+	// each numeric attribute (nil entries for categorical attributes).
+	SortedVal  [][]int64
+	SortedRank [][]int32
+	RankPos    [][]int32
+	// Stats is the sampled selectivity statistics; shards of one
+	// partitioned store share a single instance so their plans agree
+	// with the in-memory engine's.
+	Stats *SelStats
+	// Row materializes the tuple at a rank. Only result emission calls
+	// it — planning and filtering read Cols — so a caller can serve it
+	// from a cache of disk pages.
+	Row func(r int32) dataspace.Tuple
+}
+
+// NewFromArtifacts builds a Store over prebuilt index structures instead of
+// a materialized row slice. Bitmap indexes are derived from the posting
+// lists under the same gates newWithStats applies (store size, domain
+// width), so an artifact-backed store makes bit-identical plan choices to
+// the in-memory store it mirrors. The artifacts are trusted (they were
+// validated when built); only structural consistency is checked here.
+func NewFromArtifacts(schema *dataspace.Schema, a Artifacts) (*Store, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("index: nil schema")
+	}
+	d := schema.Dims()
+	if len(a.Cols) != d || len(a.Post) != d || len(a.SortedVal) != d ||
+		len(a.SortedRank) != d || len(a.RankPos) != d {
+		return nil, fmt.Errorf("index: artifacts cover %d attributes, schema has %d", len(a.Cols), d)
+	}
+	if a.Stats == nil {
+		return nil, fmt.Errorf("index: artifacts carry no selectivity statistics")
+	}
+	if a.N > 0 && a.Row == nil {
+		return nil, fmt.Errorf("index: artifacts carry no row source")
+	}
+	s := &Store{
+		schema:     schema,
+		n:          a.N,
+		row:        a.Row,
+		scratch:    sync.Pool{New: func() any { return new([]int32) }},
+		words:      sync.Pool{New: func() any { p := make([]uint64, bitmapWords); return &p }},
+		isCat:      make([]bool, d),
+		cols:       a.Cols,
+		post:       a.Post,
+		bitmaps:    make([]*bitmapIndex, d),
+		sortedVal:  a.SortedVal,
+		sortedRank: a.SortedRank,
+		rankPos:    a.RankPos,
+		stats:      a.Stats,
+		pc:         newPlanCache(),
+	}
+	for i := 0; i < d; i++ {
+		attr := schema.Attr(i)
+		if len(a.Cols[i]) != a.N {
+			return nil, fmt.Errorf("index: attribute %d column holds %d values, want %d", i, len(a.Cols[i]), a.N)
+		}
+		if attr.Kind == dataspace.Categorical {
+			s.isCat[i] = true
+			if a.Post[i] == nil {
+				return nil, fmt.Errorf("index: categorical attribute %d has no posting index", i)
+			}
+			if a.N >= bitmapMinTuples && attr.DomainSize <= bitmapMaxDomain {
+				bi := &bitmapIndex{m: make(map[int64]*rankBitmap, len(a.Post[i]))}
+				for v, list := range a.Post[i] {
+					bi.m[v] = buildRankBitmap(list)
+				}
+				s.bitmaps[i] = bi
+			}
+		} else {
+			if len(a.SortedVal[i]) != a.N || len(a.SortedRank[i]) != a.N || len(a.RankPos[i]) != a.N {
+				return nil, fmt.Errorf("index: numeric attribute %d sorted segment is inconsistent with n=%d", i, a.N)
+			}
+		}
+	}
+	return s, nil
+}
+
+// tupleAt materializes the tuple at rank r: a direct row-slice load for the
+// in-memory store, the lazy row source for artifact-backed ones.
+func (s *Store) tupleAt(r int32) dataspace.Tuple {
+	if s.byRank != nil {
+		return s.byRank[r]
+	}
+	return s.row(r)
+}
+
 // Size returns the number of tuples in the store.
-func (s *Store) Size() int { return len(s.byRank) }
+func (s *Store) Size() int { return s.n }
 
 // Schema returns the store's schema.
 func (s *Store) Schema() *dataspace.Schema { return s.schema }
 
-// All returns the tuples in priority order. The slice and its tuples are
-// shared; callers must not mutate them.
-func (s *Store) All() []dataspace.Tuple { return s.byRank }
+// All returns the tuples in priority order. For a row-backed store the
+// slice and its tuples are shared and must not be mutated; an
+// artifact-backed store materializes every row — callers that only need a
+// subset should Select instead.
+func (s *Store) All() []dataspace.Tuple {
+	if s.byRank != nil || s.n == 0 {
+		return s.byRank
+	}
+	out := make([]dataspace.Tuple, s.n)
+	for r := range out {
+		out[r] = s.row(int32(r))
+	}
+	return out
+}
+
+// EngineStats identifies the in-memory engine. Artifact-backed engines
+// report their own kind and cache counters.
+func (s *Store) EngineStats() EngineStats { return EngineStats{Kind: "mem"} }
 
 // Stats returns the store's sampled selectivity statistics.
 func (s *Store) Stats() *SelStats { return s.stats }
@@ -430,7 +563,7 @@ func (s *Store) Select(q dataspace.Query, limit int) []dataspace.Tuple {
 // returned plan carries only the structural decision; execSelect re-derives
 // the value-specific artifacts per query.
 func (s *Store) planPath(preds []dataspace.Pred, want int) *cachedPlan {
-	n := len(s.byRank)
+	n := s.n
 	best1, best2 := -1, -1
 	var m1, m2 int
 	var bmAttrs []int8
@@ -522,7 +655,7 @@ func (s *Store) execSelect(cp *cachedPlan, preds []dataspace.Pred, want int) []d
 	default:
 		pl := s.buildPlan(cp, preds)
 		if s.isCat[pl.primary] {
-			if pl.secondary >= 0 && s.isCat[pl.secondary] && useGallop(len(pl.secList), len(s.byRank)) {
+			if pl.secondary >= 0 && s.isCat[pl.secondary] && useGallop(len(pl.secList), s.n) {
 				s.pc.note(pathGallop)
 				return s.selectGallop(preds, pl, want)
 			}
@@ -587,7 +720,7 @@ const scanChunk = 8
 // together (with an early break when a chunk dies), and only survivors are
 // emitted — in rank order, since bit i of the mask is rank base+i.
 func (s *Store) selectScan(preds []dataspace.Pred, want int) []dataspace.Tuple {
-	n := len(s.byRank)
+	n := s.n
 	out := make([]dataspace.Tuple, 0, min(want, n))
 	base := 0
 	for ; base+scanChunk <= n; base += scanChunk {
@@ -595,7 +728,7 @@ func (s *Store) selectScan(preds []dataspace.Pred, want int) []dataspace.Tuple {
 		for mask != 0 {
 			b := bits.TrailingZeros32(mask)
 			mask &= mask - 1
-			out = append(out, s.byRank[base+b])
+			out = append(out, s.tupleAt(int32(base+b)))
 			if len(out) == want {
 				return out
 			}
@@ -603,7 +736,7 @@ func (s *Store) selectScan(preds []dataspace.Pred, want int) []dataspace.Tuple {
 	}
 	for r := base; r < n; r++ {
 		if s.coversAt(preds, int32(r)) {
-			out = append(out, s.byRank[r])
+			out = append(out, s.tupleAt(int32(r)))
 			if len(out) == want {
 				break
 			}
@@ -682,12 +815,12 @@ func (s *Store) selectBitmap(cp *cachedPlan, preds []dataspace.Pred, want int) [
 	out := make([]dataspace.Tuple, 0, min(want, len(ranks)))
 	if cp.exact {
 		for _, r := range ranks {
-			out = append(out, s.byRank[r])
+			out = append(out, s.tupleAt(r))
 		}
 	} else {
 		for _, r := range ranks {
 			if s.coversAtSkip(preds, r, cp.bitmapSkip) {
-				out = append(out, s.byRank[r])
+				out = append(out, s.tupleAt(r))
 				if len(out) == want {
 					break
 				}
@@ -753,7 +886,7 @@ func (s *Store) selectPosting(preds []dataspace.Pred, pl plan, want int) []datas
 			continue
 		}
 		if s.coversAt(preds, r) {
-			out = append(out, s.byRank[r])
+			out = append(out, s.tupleAt(r))
 			if len(out) == want {
 				break
 			}
@@ -778,7 +911,7 @@ func (s *Store) selectGallop(preds []dataspace.Pred, pl plan, want int) []datasp
 			continue
 		}
 		if s.coversAt(preds, r) {
-			out = append(out, s.byRank[r])
+			out = append(out, s.tupleAt(r))
 			if len(out) == want {
 				break
 			}
@@ -846,7 +979,7 @@ func (s *Store) selectRange(preds []dataspace.Pred, pl plan, want int) []dataspa
 	out := make([]dataspace.Tuple, 0, min(want, len(ranks)))
 	for _, r := range ranks {
 		if s.coversAt(preds, r) {
-			out = append(out, s.byRank[r])
+			out = append(out, s.tupleAt(r))
 			if len(out) == want {
 				break
 			}
@@ -924,7 +1057,7 @@ func (s *Store) countBitmap(preds []dataspace.Pred) (int, bool) {
 // result order is irrelevant, so no sorting or allocation happens on any
 // path.
 func (s *Store) Count(q dataspace.Query) int {
-	n := len(s.byRank)
+	n := s.n
 	preds := q.Preds()
 	if c, ok := s.countBitmap(preds); ok {
 		return c

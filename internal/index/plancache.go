@@ -201,8 +201,10 @@ func (c *planCache) stats() PlanStats {
 	return ps
 }
 
-// merge accumulates o into ps (the Sharded aggregation).
-func (ps *PlanStats) merge(o PlanStats) {
+// Merge accumulates o into ps — the aggregation a partitioned engine
+// (Sharded, or a banded disk store) uses to report one planner view over
+// its per-partition caches.
+func (ps *PlanStats) Merge(o PlanStats) {
 	ps.Shapes += o.Shapes
 	ps.Hits += o.Hits
 	ps.Misses += o.Misses

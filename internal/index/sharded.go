@@ -41,6 +41,23 @@ type Engine interface {
 	// PlanStats returns the planner's cumulative counters: cached shapes,
 	// plan-cache hits/misses, and per-access-path Select execution counts.
 	PlanStats() PlanStats
+	// EngineStats returns the engine's kind ("mem", "disk") and, for
+	// engines that serve rows through a cache, its hit/miss counters.
+	EngineStats() EngineStats
+}
+
+// EngineStats identifies which engine implementation answers queries and,
+// for disk-backed engines, how its block cache is behaving. The in-memory
+// engines report only their kind; counters stay zero.
+type EngineStats struct {
+	// Kind names the backing engine: "mem" or "disk".
+	Kind string `json:"kind"`
+	// CacheHits and CacheMisses count block-cache lookups during row
+	// materialization (disk engines only).
+	CacheHits   int64 `json:"cacheHits"`
+	CacheMisses int64 `json:"cacheMisses"`
+	// CacheBlocks is the number of currently resident cache blocks.
+	CacheBlocks int `json:"cacheBlocks"`
 }
 
 var (
@@ -66,13 +83,12 @@ func NewSharded(schema *dataspace.Schema, byRank []dataspace.Tuple, shards int) 
 	if shards < 1 {
 		return nil, fmt.Errorf("index: shard count must be >= 1, got %d", shards)
 	}
+	// One unified clamp for every relation size: a shard count above n
+	// collapses to n so no shard is ever empty, and the empty relation is
+	// its own floor — it still gets exactly one (empty) shard, so the
+	// zero-tuple store answers through the same code path as any other.
 	n := len(byRank)
-	if shards > n && n > 0 {
-		shards = n
-	}
-	if n == 0 {
-		shards = 1
-	}
+	shards = min(shards, max(n, 1))
 	if schema == nil {
 		return nil, fmt.Errorf("index: nil schema")
 	}
@@ -101,10 +117,13 @@ func NewSharded(schema *dataspace.Schema, byRank []dataspace.Tuple, shards int) 
 func (s *Sharded) PlanStats() PlanStats {
 	var ps PlanStats
 	for _, sh := range s.shards {
-		ps.merge(sh.PlanStats())
+		ps.Merge(sh.PlanStats())
 	}
 	return ps
 }
+
+// EngineStats identifies the in-memory engine.
+func (s *Sharded) EngineStats() EngineStats { return EngineStats{Kind: "mem"} }
 
 // NumShards returns the number of priority-range partitions.
 func (s *Sharded) NumShards() int { return len(s.shards) }

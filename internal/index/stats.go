@@ -50,16 +50,40 @@ type SelStats struct {
 	eqSel []float64
 }
 
+// SampleSizeFor returns how many rows the deterministic stride sample of an
+// n-tuple relation holds, and the stride between sampled ranks. A builder
+// that persists the sample (the disk store's footer) uses the same rule, so
+// the statistics it reconstructs match buildSelStats bit for bit.
+func SampleSizeFor(n int) (sampled, stride int) {
+	sampled = min(n, statsSampleMax)
+	if sampled == 0 {
+		return 0, 0
+	}
+	return sampled, n / sampled
+}
+
 // buildSelStats stride-samples the relation. Stride sampling is cheap, hits
 // every priority band evenly, and is deterministic — the same relation
 // always yields the same statistics.
 func buildSelStats(schema *dataspace.Schema, byRank []dataspace.Tuple) *SelStats {
-	d := schema.Dims()
 	n := len(byRank)
-	sampled := n
-	if sampled > statsSampleMax {
-		sampled = statsSampleMax
+	sampled, stride := SampleSizeFor(n)
+	rows := make([]dataspace.Tuple, sampled)
+	for j := 0; j < sampled; j++ {
+		rows[j] = byRank[j*stride]
 	}
+	return NewSelStats(schema, n, rows)
+}
+
+// NewSelStats computes selectivity statistics from an already-drawn sample
+// of an n-tuple relation — rows must be the deterministic stride sample
+// (see SampleSizeFor). Store construction uses it via buildSelStats; a
+// disk store's Open feeds it the sample persisted in the file footer, which
+// is what makes the on-disk engine's cost model identical to the in-memory
+// one over the same relation.
+func NewSelStats(schema *dataspace.Schema, n int, rows []dataspace.Tuple) *SelStats {
+	d := schema.Dims()
+	sampled := len(rows)
 	st := &SelStats{
 		n:       n,
 		sampled: sampled,
@@ -74,9 +98,7 @@ func buildSelStats(schema *dataspace.Schema, byRank []dataspace.Tuple) *SelStats
 	if sampled == 0 {
 		return st
 	}
-	stride := n / sampled
-	for j := 0; j < sampled; j++ {
-		t := byRank[j*stride]
+	for j, t := range rows {
 		for i := 0; i < d; i++ {
 			st.cols[i][j] = t[i]
 		}
@@ -99,6 +121,21 @@ func buildSelStats(schema *dataspace.Schema, byRank []dataspace.Tuple) *SelStats
 		st.eqSel[i] = m2
 	}
 	return st
+}
+
+// SampleRows returns the sampled rows, materialized row-major. The disk
+// builder persists them in the store footer.
+func (st *SelStats) SampleRows() []dataspace.Tuple {
+	d := len(st.cols)
+	rows := make([]dataspace.Tuple, st.sampled)
+	for j := range rows {
+		t := make(dataspace.Tuple, d)
+		for i := 0; i < d; i++ {
+			t[i] = st.cols[i][j]
+		}
+		rows[j] = t
+	}
+	return rows
 }
 
 // jointSel estimates the fraction of the relation matched by the whole

@@ -93,10 +93,28 @@ type CrawlEvent struct {
 	CacheHits   int `json:"cacheHits,omitempty"`
 	SharedHits  int `json:"sharedHits,omitempty"`
 	SharedWaits int `json:"sharedWaits,omitempty"`
+	// Engine identifies the store engine that served the crawl and, for
+	// the disk engine, its block-cache counters (terminal line; absent
+	// when the backing server does not expose engine introspection).
+	Engine *EngineStatsMsg `json:"engine,omitempty"`
 	// Error reports a crawl that could not complete (terminal line).
 	Error string `json:"error,omitempty"`
 	// QuotaExceeded marks an Error caused by the session's query budget.
 	QuotaExceeded bool `json:"quotaExceeded,omitempty"`
+}
+
+// EngineStatsMsg identifies the server's store engine in the /stats
+// response and the /crawl terminal event: "mem" for the in-memory columnar
+// store, "disk" for the disk-resident one, with the disk engine's pinned
+// block-cache counters (lifetime totals, zero for mem).
+type EngineStatsMsg struct {
+	// Kind is "mem" or "disk".
+	Kind string `json:"kind"`
+	// CacheHits and CacheMisses count block-cache lookups over the
+	// engine's lifetime; CacheBlocks is the resident materialized blocks.
+	CacheHits   int64 `json:"cacheHits,omitempty"`
+	CacheMisses int64 `json:"cacheMisses,omitempty"`
+	CacheBlocks int   `json:"cacheBlocks,omitempty"`
 }
 
 // StatsMsg is the response of the GET /stats endpoint.
@@ -114,6 +132,10 @@ type StatsMsg struct {
 	// Planner carries the store's query-planner counters when the backing
 	// server exposes them (a local store does; a remote proxy may not).
 	Planner *PlannerStatsMsg `json:"planner,omitempty"`
+	// Engine identifies the store engine ("mem" or "disk") with the disk
+	// engine's block-cache counters; absent when the backing server does
+	// not expose engine introspection.
+	Engine *EngineStatsMsg `json:"engine,omitempty"`
 	// SharedCache carries the fleet-wide shared answer tier's aggregate
 	// counters; absent in paper mode (shared cache off).
 	SharedCache *SharedCacheStatsMsg `json:"sharedCache,omitempty"`
