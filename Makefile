@@ -4,18 +4,18 @@ GO ?= go
 BENCH_OUT ?= bench.out
 # One benchmark snapshot per perf PR; bench compares the fresh snapshot's
 # query-count metrics against the committed baseline of the previous PR.
-BENCH_JSON ?= BENCH_7.json
-BENCH_BASELINE ?= BENCH_6.json
+BENCH_JSON ?= BENCH_8.json
+BENCH_BASELINE ?= BENCH_7.json
 # Minimum statement coverage (percent) for the algorithm, server-contract,
 # pipelined-dispatcher, session, fault-injection, retrying-transport,
 # index-engine, disk-engine, dataset-factory and shared-memo packages,
 # enforced by `make cover`. Raise as the suite grows; never lower it to
 # ship.
-COVER_PKGS ?= ./internal/core ./internal/hiddendb ./internal/parallel ./internal/session ./internal/chaos ./internal/httpclient ./internal/index ./internal/diskstore ./internal/datagen ./internal/memo
+COVER_PKGS ?= ./internal/core ./internal/hiddendb ./internal/parallel ./internal/session ./internal/chaos ./internal/httpclient ./internal/index ./internal/diskstore ./internal/datagen ./internal/memo ./internal/loadgen
 COVER_MIN ?= 80
 COVER_OUT ?= cover.out
 
-.PHONY: all build check test race cover bench chaos clean
+.PHONY: all build check test race cover bench chaos loadgen-smoke clean
 
 all: build check test race cover
 
@@ -74,5 +74,16 @@ bench:
 chaos: build
 	$(GO) test -race -short ./internal/chaos/ ./internal/httpclient/ ./internal/journal/ ./internal/httpserver/ ./internal/session/
 
+# loadgen-smoke is the load-driver determinism gate: the sim mode must
+# produce byte-identical artifacts for the same seed (sheds, rejections
+# and percentiles included) and the artifact must pass its own schema
+# check — the properties CI leans on when diffing latency ablations.
+loadgen-smoke: build
+	$(GO) run ./cmd/hidb-loadgen -mode sim -sessions 48 -ops 6 -seed 11 -quota 12 -max-inflight 8 -out loadgen-a.json
+	$(GO) run ./cmd/hidb-loadgen -mode sim -sessions 48 -ops 6 -seed 11 -quota 12 -max-inflight 8 -out loadgen-b.json
+	cmp loadgen-a.json loadgen-b.json
+	$(GO) run ./cmd/hidb-loadgen -check loadgen-a.json
+	rm -f loadgen-a.json loadgen-b.json
+
 clean:
-	rm -f $(BENCH_OUT) $(COVER_OUT)
+	rm -f $(BENCH_OUT) $(COVER_OUT) loadgen-a.json loadgen-b.json

@@ -12,6 +12,7 @@
 //	hidb-crawl -url ... -workers 16                        # parallel, batched
 //	hidb-crawl -url ... -workers 16 -batch 8               # cap batch size
 //	hidb-crawl -url ... -workers 16 -inflight 4            # deepen the pipeline
+//	hidb-crawl -url ... -workers 16 -inflight -1           # adaptive depth
 //
 // With -workers N the crawler drains ready queries into batches of up to N
 // (or -batch, if set) per round trip and keeps up to -inflight round trips
@@ -19,7 +20,12 @@
 // slot frees, so the connection never idles between round trips. The query
 // cost is identical to the sequential crawl, the round-trip count
 // ~batch-size times smaller; -inflight 1 restores the flush-on-completion
-// batcher that waits out each round trip before dispatching the next.
+// batcher that waits out each round trip before dispatching the next, and
+// -inflight -1 lets the dispatcher pick the depth itself: it widens by one
+// whenever a full-width batch is ready while every flight slot is busy —
+// each widening saves that batch a full round trip of latency — and stops
+// when that signal stops, with neither the query count nor the round-trip
+// count ever exceeding a fixed depth's.
 package main
 
 import (
@@ -81,7 +87,7 @@ func main() {
 	journalPath := flag.String("journal", "", "journal file for resumable crawls (created if absent)")
 	workers := flag.Int("workers", 1, "concurrent in-flight queries (same cost, less wall-clock)")
 	batch := flag.Int("batch", 0, "max queries per AnswerBatch round trip (0 = worker count; capped at -workers)")
-	inflight := flag.Int("inflight", 0, "pipeline depth: overlapped AnswerBatch round trips (0 = default 2; 1 = flush-on-completion)")
+	inflight := flag.Int("inflight", 0, "pipeline depth: overlapped AnswerBatch round trips (0 = default 2; 1 = flush-on-completion; -1 = adaptive — widen while widening keeps saving round trips)")
 	token := flag.String("token", "", "API token sent as Authorization: Bearer (per-session quota/journal on the server)")
 	retries := flag.Int("retries", 0, "retry transient remote failures up to this many attempts per operation, with backoff (0 = fail fast); against a per-session server retried queries replay from its journal for free")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "after SIGINT/SIGTERM, force-exit if the crawl has not wound down within this long (the journal saved so far stays intact)")

@@ -1,0 +1,152 @@
+// Command hidb-loadgen drives synthetic token-session traffic against the
+// HTTP hidden-database server and writes a benchjson-shaped JSON artifact:
+// p50/p95/p99/max op latency, qps, shed 503 and quota 429 counts, crawl
+// tuples and the paid query total.
+//
+// Each of -sessions virtual clients owns an API token and walks -ops
+// schedule ops drawn from -mix: form queries (/query), batched queries
+// (/batch), server-side crawls (/crawl) — including deliberate mid-stream
+// aborts reconnecting with the resume cursor — and queries under unseen
+// tokens, which a shedding server with a full session table must refuse.
+//
+// Two modes, one schedule:
+//
+//	hidb-loadgen -mode sim -sessions 1000 -ops 20 -latency 5ms -out load.json
+//	hidb-loadgen -mode socket -url http://localhost:8080 -sessions 100
+//
+// sim serves the traffic in-process under a virtual clock: thousands of
+// sessions run in milliseconds of real time, the simulated round-trip
+// latency is exact, and the whole artifact — sheds and rejections
+// included — is bit-reproducible from -seed, which is what makes latency
+// ablations diffable. socket drives a real server (or, with no -url, a
+// self-served loopback listener) with real sleeps for actual throughput.
+//
+//	hidb-loadgen -check load.json
+//
+// schema-checks an artifact and exits; CI's loadgen smoke gate runs the
+// sim mode twice and insists on identical bytes plus a passing -check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"hidb/internal/loadgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hidb-loadgen: ")
+
+	mode := flag.String("mode", "sim", "sim (in-process, virtual clock, deterministic) or socket (real HTTP, real time)")
+	url := flag.String("url", "", "socket mode: base URL of a running server (empty = self-serve the dataset on a loopback listener)")
+	sessions := flag.Int("sessions", 0, "virtual token sessions (0 = 64)")
+	ops := flag.Int("ops", 0, "schedule ops per session (0 = 8)")
+	seed := flag.Uint64("seed", 0, "schedule seed; in sim mode the whole artifact is reproducible from it (0 = 1)")
+	dataset := flag.String("dataset", "", "served dataset: yahoo, nsf, adult, adult-numeric (default adult; ignored with -url)")
+	n := flag.Int("n", 0, "dataset cardinality (0 = 2000; ignored with -url)")
+	k := flag.Int("k", 0, "server return limit (0 = 64; ignored with -url)")
+	batch := flag.Int("batch", 0, "queries per /batch op (0 = 8)")
+	latency := flag.Duration("latency", 0, "sim mode: virtual round-trip latency (0 = 2ms)")
+	think := flag.Duration("think", 0, "per-client pause bound between ops, drawn from [think/2, think) (0 = 10ms)")
+	quota := flag.Int("quota", 0, "per-session query budget (0 = unlimited; ignored with -url)")
+	maxInFlight := flag.Int("max-inflight", 0, "shed requests beyond this concurrency (0 = unbounded; ignored with -url)")
+	algo := flag.String("algo", "", "crawl algorithm for /crawl ops (empty = server's default for the schema)")
+	mix := flag.String("mix", "", "op mix weights query,batch,crawl,abort,badtoken (default 6,2,1,1,1)")
+	out := flag.String("out", "-", "artifact file (- = stdout)")
+	check := flag.String("check", "", "schema-check this artifact file and exit")
+	flag.Parse()
+
+	if *check != "" {
+		data, err := os.ReadFile(*check)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := loadgen.Validate(data); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: ok\n", *check)
+		return
+	}
+
+	cfg := loadgen.Config{
+		Sessions:    *sessions,
+		Ops:         *ops,
+		Seed:        *seed,
+		Dataset:     *dataset,
+		N:           *n,
+		K:           *k,
+		BatchWidth:  *batch,
+		Latency:     *latency,
+		Think:       *think,
+		Quota:       *quota,
+		MaxInFlight: *maxInFlight,
+		Algorithm:   *algo,
+	}
+	if *mix != "" {
+		m, err := parseMix(*mix)
+		if err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+		cfg.Mix = m
+	}
+
+	var rep *loadgen.Report
+	var err error
+	start := time.Now()
+	switch *mode {
+	case "sim":
+		if *url != "" {
+			log.Print("-url is a socket-mode flag; sim serves in-process")
+			os.Exit(2)
+		}
+		rep, err = loadgen.RunSim(cfg)
+	case "socket":
+		rep, err = loadgen.RunSocket(cfg, *url)
+	default:
+		log.Printf("unknown -mode %q (want sim or socket)", *mode)
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	art, err := rep.Artifact()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *out == "-" {
+		os.Stdout.Write(art)
+	} else if err := os.WriteFile(*out, art, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%s: %d ops, %d paid queries, %d shed, %d quota-rejected, elapsed %v (%v real)",
+		rep.Name, rep.Ops, rep.PaidQueries, rep.Shed503, rep.Quota429, rep.Elapsed, time.Since(start).Round(time.Millisecond))
+}
+
+// parseMix reads the five comma-separated op weights.
+func parseMix(s string) (loadgen.Mix, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 5 {
+		return loadgen.Mix{}, fmt.Errorf("-mix wants 5 comma-separated weights (query,batch,crawl,abort,badtoken), got %q", s)
+	}
+	w := make([]int, 5)
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 0 {
+			return loadgen.Mix{}, fmt.Errorf("-mix weight %q: want a non-negative integer", p)
+		}
+		w[i] = v
+	}
+	m := loadgen.Mix{Query: w[0], Batch: w[1], Crawl: w[2], Abort: w[3], BadToken: w[4]}
+	if m.Query+m.Batch+m.Crawl+m.Abort+m.BadToken == 0 {
+		return loadgen.Mix{}, fmt.Errorf("-mix %q: all weights are zero", s)
+	}
+	return m, nil
+}

@@ -44,6 +44,21 @@
 // already-paid queries replay for free. The global -quota is mutually
 // exclusive with session mode.
 //
+// -rate-class name=qps[:burst] (repeatable; also enables sessions) names
+// per-token QoS tiers: a token joins the class named by its prefix before
+// the first '-' ("gold-alice" joins class "gold"), tokens with no listed
+// class fall back to the flat -rate-per-client, and a class with qps 0 is
+// an explicit unlimited tier. Classes shape timing only — budgets,
+// journals and the paper's query counts are untouched:
+//
+//	hidb-server -dataset adult -rate-class gold=50:100 -rate-class free=2
+//
+// GET /metrics exposes the QoS counters (quota 429s, shed 503s by reason,
+// the /batch width histogram, in-flight depth, live sessions by rate
+// class) plus the engine, shared-cache and plan-cache counters in the
+// Prometheus text format; GET /stats reports the same introspection as
+// JSON. Both stay served while draining.
+//
 // -shared-cache free|charged (also enables sessions) adds the fleet-wide
 // shared answer tier under every session's stack: the first token to issue
 // a query pays for it and the answer serves the whole fleet, with
@@ -79,6 +94,8 @@ import (
 	"os/signal"
 	"path/filepath"
 	"slices"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -88,6 +105,38 @@ import (
 	"hidb/internal/session"
 	"hidb/internal/tableload"
 )
+
+// rateClassFlag collects repeated -rate-class values, each a named
+// qps tier in the form name=qps[:burst].
+type rateClassFlag []session.RateClass
+
+func (f *rateClassFlag) String() string {
+	parts := make([]string, len(*f))
+	for i, c := range *f {
+		parts[i] = fmt.Sprintf("%s=%g:%d", c.Name, c.PerSecond, c.Burst)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *rateClassFlag) Set(s string) error {
+	name, spec, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=qps[:burst], got %q", s)
+	}
+	qpsPart, burstPart, hasBurst := strings.Cut(spec, ":")
+	qps, err := strconv.ParseFloat(qpsPart, 64)
+	if err != nil {
+		return fmt.Errorf("rate %q: %v", qpsPart, err)
+	}
+	burst := 0
+	if hasBurst {
+		if burst, err = strconv.Atoi(burstPart); err != nil {
+			return fmt.Errorf("burst %q: %v", burstPart, err)
+		}
+	}
+	*f = append(*f, session.RateClass{Name: name, PerSecond: qps, Burst: burst})
+	return nil
+}
 
 // loadFile serves a user-supplied CSV/TSV file as the hidden database.
 func loadFile(path string) (*datagen.Dataset, error) {
@@ -153,6 +202,8 @@ func main() {
 	quotaPerClient := flag.Int("quota-per-client", 0, "per-token query budget per session window (0 = unlimited; enables sessions)")
 	ratePerClient := flag.Float64("rate-per-client", 0, "per-token sustained queries/second, token-bucket throttled (0 = unthrottled; enables sessions)")
 	rateBurst := flag.Int("rate-burst", 0, "token-bucket burst for -rate-per-client (0 = ceil of the rate)")
+	var rateClasses rateClassFlag
+	flag.Var(&rateClasses, "rate-class", "named qps tier, name=qps[:burst], repeatable (e.g. -rate-class gold=50:100 -rate-class free=2); a token's class is its prefix before the first '-', unlisted prefixes fall back to -rate-per-client; enables sessions")
 	sessionTTL := flag.Duration("session-ttl", 0, "idle session expiry — the budget window (0 = never; enables sessions)")
 	journalDir := flag.String("journal-dir", "", "persist each session's journal here on eviction/shutdown, reload on reconnect (enables sessions)")
 	maxSessions := flag.Int("max-sessions", 0, "live session cap, LRU-evicted beyond it (0 = default)")
@@ -167,8 +218,8 @@ func main() {
 		log.Print(err)
 		os.Exit(2)
 	}
-	sessions := *quotaPerClient > 0 || *ratePerClient > 0 || *sessionTTL > 0 || *journalDir != "" || *maxSessions > 0 ||
-		sharedPolicy != hidb.SharedCacheOff
+	sessions := *quotaPerClient > 0 || *ratePerClient > 0 || len(rateClasses) > 0 || *sessionTTL > 0 ||
+		*journalDir != "" || *maxSessions > 0 || sharedPolicy != hidb.SharedCacheOff
 	if sessions && *quota > 0 {
 		log.Print("-quota is the sessionless global budget; with sessions use -quota-per-client")
 		os.Exit(2)
@@ -213,6 +264,7 @@ func main() {
 			Quota:            *quotaPerClient,
 			RatePerSecond:    *ratePerClient,
 			RateBurst:        *rateBurst,
+			RateClasses:      rateClasses,
 			TTL:              *sessionTTL,
 			MaxSessions:      *maxSessions,
 			JournalDir:       *journalDir,

@@ -189,6 +189,38 @@
 // is evicted mid-fetch hands leadership to a waiting follower (which pays
 // on its own budget) instead of orphaning it, and eviction never discards
 // the tier: answers any token led keep serving the fleet.
+//
+// # Observability & load
+//
+// The HTTP server self-reports on three admission-free endpoints — they
+// answer even while the handler drains or sheds, because a saturated
+// server is exactly the one worth watching. GET /stats is the JSON
+// snapshot (totals, per-session counters, engine and planner internals);
+// GET /metrics is the same state in the Prometheus text exposition —
+// hidb_requests_total, hidb_queries_total, hidb_shed_total by reason
+// (capacity, draining, session_table_full), hidb_quota_rejected_total,
+// the hidb_batch_width histogram, per-rate-class session gauges and the
+// plan-cache/engine counters — ready for any Prometheus-compatible
+// scraper with no client library involved. GET /healthz distinguishes
+// liveness from readiness: a draining handler answers 503 with
+// ready=false so load balancers rotate it out while in-flight work
+// finishes.
+//
+// QoS knobs shape who gets served when, never what anything costs:
+// hidb-server's repeatable -rate-class flag (-rate-class gold=50:100
+// -rate-class free=2) names per-token qps tiers resolved from the token's
+// prefix before the first '-', falling back to the flat -rate-per-second;
+// sheds carry Retry-After hints sized to the cause (1s for transient
+// capacity, 30s for a one-way drain). The paid query count — the paper's
+// cost metric — is identical with every knob on or off.
+//
+// Command hidb-loadgen drives mixed virtual-session traffic (form
+// queries, batches, crawls with mid-stream aborts and resumes, unseen
+// tokens against a full table) at the server and emits a benchjson-shaped
+// latency/shed/quota artifact. Its sim mode runs under the virtual clock:
+// thousands of sessions in milliseconds of real time, every percentile
+// and shed count bit-reproducible from the seed, so two artifacts diff
+// meaningfully.
 package hidb
 
 import (
@@ -288,6 +320,14 @@ type (
 	// CurvePoint is one sample of the progressiveness curve.
 	CurvePoint = core.CurvePoint
 )
+
+// InFlightAdaptive, as CrawlOptions.InFlight, lets the pipelined
+// dispatcher choose its own depth: it widens by one whenever a full-width
+// batch is ready while every flight slot is busy — each widening saves
+// that batch a round trip of latency — and stops when that signal stops.
+// Partial batches never ride the widened slots, so neither the paid query
+// count nor the round-trip count ever exceeds a fixed depth's.
+const InFlightAdaptive = core.InFlightAdaptive
 
 // Dataset bundles a schema with a bag of tuples (see datagen).
 type Dataset = datagen.Dataset

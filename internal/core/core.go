@@ -45,10 +45,24 @@ type CurvePoint struct {
 	Tuples  int
 }
 
+// InFlightAdaptive, assigned to Options.InFlight, makes the parallel
+// crawler pick its pipeline depth itself: it starts at the default double
+// buffer and widens by one whenever a full-width batch is ready while
+// every flight slot is busy — the deterministic signal that one more
+// overlapped round trip would save a full round trip of latency. When
+// that signal stops, the widening stops: the measured savings have
+// flattened. Only full-width batches ever launch through a widened slot,
+// so widening launches the same batches earlier rather than launching
+// thinner ones; the query count is untouched, as with any fixed depth.
+const InFlightAdaptive = -1
+
 // Options tunes a crawl. The zero value is ready to use.
 type Options struct {
 	// OnProgress, when non-nil, is invoked after every query that reaches
-	// the server with the running totals.
+	// the server with the running totals. Calls are serialized — even the
+	// parallel engine, whose round trips complete concurrently, never
+	// invokes it from two goroutines at once — so the callback needs no
+	// locking of its own.
 	OnProgress func(CurvePoint)
 	// OnTuples, when non-nil, is invoked with each chunk of newly
 	// extracted tuples, in output order: the concatenation of all chunks
@@ -82,8 +96,10 @@ type Options struct {
 	// round trip in front of it. 1 restores flush-on-completion; zero
 	// defaults to 2 (or to workers/BatchSize when a narrowed batch width
 	// would otherwise shrink the in-flight query bound below the worker
-	// count). Pipelining never changes the query count, only round trips
-	// and wall clock. Sequential crawlers ignore it.
+	// count); InFlightAdaptive lets the dispatcher widen the depth itself
+	// while the widening keeps saving round-trip latency. Pipelining never
+	// changes the query count, only round trips and wall clock. Sequential
+	// crawlers ignore it.
 	InFlight int
 	// Clock, when non-nil, runs the parallel crawler's pipeline under the
 	// given deterministic virtual clock: batches form and depart at

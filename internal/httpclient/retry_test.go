@@ -537,3 +537,51 @@ func TestStreamEventsSurviveResume(t *testing.T) {
 		t.Fatalf("observed %d terminal events, want 1", terminals)
 	}
 }
+
+// drainingFront answers the first /query with a genuinely draining
+// handler — real drain shed, real Retry-After hint — and hands everything
+// after it to a healthy twin, modelling a load balancer flipping away
+// from a node mid-restart.
+type drainingFront struct {
+	draining, healthy http.Handler
+	served            atomic.Int32
+}
+
+func (f *drainingFront) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/query" && f.served.Add(1) == 1 {
+		f.draining.ServeHTTP(w, r)
+		return
+	}
+	f.healthy.ServeHTTP(w, r)
+}
+
+// TestRetryHonorsDrainHint: a drain shed's Retry-After is deliberately
+// much larger than a capacity shed's — one-way drains are not worth
+// hammering — and the retrying client must actually stay away that long.
+// This pins the server hint and the client obedience together: shrinking
+// either breaks the bargain.
+func TestRetryHonorsDrainHint(t *testing.T) {
+	drained := sessionHandler(t, 200, 16)
+	drained.Drain()
+	front := &drainingFront{draining: drained, healthy: sessionHandler(t, 200, 16)}
+
+	ts := httptest.NewServer(front)
+	t.Cleanup(ts.Close)
+	clock := hiddendb.NewSimClock()
+	c, err := DialRetry(context.Background(), ts.URL, "tok", nil, RetryPolicy{MaxAttempts: 2, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := c.Answer(context.Background(), dataspace.UniverseQuery(c.Schema())); err != nil {
+		t.Fatalf("answer through draining node: %v", err)
+	}
+	// The drain hint is 30s vs the capacity shed's 1s; riding the real
+	// header proves the distinct hint survives the whole stack.
+	if clock.Now() < 30*time.Second {
+		t.Fatalf("slept %v of virtual time, want >= 30s (the drain Retry-After)", clock.Now())
+	}
+	if got := front.served.Load(); got != 2 {
+		t.Fatalf("served %d /query requests, want 2 (the shed + the retry)", got)
+	}
+}

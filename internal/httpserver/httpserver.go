@@ -29,7 +29,12 @@
 // GET /stats reports the aggregate and per-session counters as a
 // wire.StatsMsg, plus the store's query-planner counters (plan-cache hit
 // rate and per-access-path execution counts) when the backing server
-// exposes them.
+// exposes them. GET /metrics exposes the same introspection — plus the
+// QoS counters: quota 429s, shed 503s by reason, the /batch width
+// histogram, the in-flight depth — in the Prometheus text format, so a
+// scraper needs no custom exporter (see metrics.go for the series). Both
+// endpoints stay served while draining: observability must outlive
+// admission.
 //
 // # The /crawl stream
 //
@@ -80,6 +85,7 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -105,6 +111,20 @@ type Handler struct {
 	// draining flips when Drain is called: every new query-carrying
 	// request is shed so in-flight ones can finish before Shutdown.
 	draining atomic.Bool
+
+	// QoS counters for GET /metrics, atomics so the scrape path never
+	// contends with the serving path.
+	quota429     atomic.Int64 // 429 responses (legacy and per-session quotas alike)
+	shedCapacity atomic.Int64 // 503s from the in-flight bound
+	shedDraining atomic.Int64 // 503s from drain mode
+	shedFull     atomic.Int64 // 503s turning unseen tokens off a full session table
+	// batchWidths histograms the /batch request widths into
+	// batchWidthBounds buckets (the last counts widths beyond every
+	// bound, Prometheus's +Inf); batchSum and batchCount carry the
+	// histogram's _sum and _count series.
+	batchWidths [len(batchWidthBounds) + 1]atomic.Int64
+	batchSum    atomic.Int64
+	batchCount  atomic.Int64
 
 	mu sync.Mutex
 	// inFlight counts the query-carrying requests currently being served.
@@ -217,14 +237,71 @@ func (h *Handler) noteRequest() {
 	h.mu.Unlock()
 }
 
+// shedReason distinguishes why a request was turned away: the Retry-After
+// hint, the response body and the /metrics counter all depend on it.
+type shedReason int
+
+const (
+	// shedCapacity is the transient in-flight bound: the overload clears
+	// as soon as a slot frees, so the hint is short.
+	shedCapacity shedReason = iota
+	// shedDraining is the one-way drain before shutdown: this handler
+	// will never be ready again at this address, so the hint tells the
+	// client to stay away long enough for a restart (or a load-balancer
+	// flip) rather than hammering a dying process.
+	shedDraining
+	// shedTableFull turns an unseen token off a full session table; like
+	// capacity it clears when a session expires, so the hint stays short.
+	shedTableFull
+)
+
+// drainRetryAfterSeconds is the Retry-After hint on drain sheds. Orders of
+// magnitude above the capacity hint: retrying a draining server within a
+// second is wasted load, since drain is one-way.
+const drainRetryAfterSeconds = 30
+
 // shed rejects a request the server cannot take on right now. 503 with
 // Retry-After is the transient-overload signal: a retrying client backs
 // off at least that long and loses nothing — the queries it will re-ask
 // were either never served (paid once, later) or journaled (replayed
-// free).
-func shed(w http.ResponseWriter, msg string) {
-	w.Header().Set("Retry-After", "1")
+// free). The hint and body distinguish transient overload (retry in a
+// second) from a one-way drain (come back after the restart).
+func (h *Handler) shed(w http.ResponseWriter, reason shedReason) {
+	hint, msg := "1", "server is at capacity"
+	switch reason {
+	case shedCapacity:
+		h.shedCapacity.Add(1)
+	case shedDraining:
+		h.shedDraining.Add(1)
+		hint, msg = strconv.Itoa(drainRetryAfterSeconds), "server is draining"
+	case shedTableFull:
+		h.shedFull.Add(1)
+		msg = "session table full"
+	}
+	w.Header().Set("Retry-After", hint)
 	http.Error(w, msg, http.StatusServiceUnavailable)
+}
+
+// reject429 answers a quota rejection, counting it for /metrics.
+func (h *Handler) reject429(w http.ResponseWriter) {
+	h.quota429.Add(1)
+	http.Error(w, "query quota exceeded", http.StatusTooManyRequests)
+}
+
+// batchWidthBounds are the histogram bucket upper bounds for /batch
+// request widths (each bucket is cumulative, Prometheus-style).
+var batchWidthBounds = [...]int{1, 2, 4, 8, 16, 32, 64, 128}
+
+// noteBatchWidth records one /batch request of n queries.
+func (h *Handler) noteBatchWidth(n int) {
+	for i, le := range batchWidthBounds {
+		if n <= le {
+			h.batchWidths[i].Add(1)
+		}
+	}
+	h.batchWidths[len(batchWidthBounds)].Add(1) // +Inf
+	h.batchSum.Add(int64(n))
+	h.batchCount.Add(1)
 }
 
 // admit gates one query-carrying request through the overload controls:
@@ -233,13 +310,13 @@ func shed(w http.ResponseWriter, msg string) {
 // deferred; ok=false means the 503 is already written.
 func (h *Handler) admit(w http.ResponseWriter) (release func(), ok bool) {
 	if h.draining.Load() {
-		shed(w, "server is draining")
+		h.shed(w, shedDraining)
 		return nil, false
 	}
 	h.mu.Lock()
 	if h.maxInFlight > 0 && h.inFlight >= h.maxInFlight {
 		h.mu.Unlock()
-		shed(w, "server is at capacity")
+		h.shed(w, shedCapacity)
 		return nil, false
 	}
 	h.inFlight++
@@ -264,6 +341,8 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		h.handleCrawl(w, r)
 	case r.URL.Path == "/stats" && r.Method == http.MethodGet:
 		h.handleStats(w)
+	case r.URL.Path == "/metrics" && r.Method == http.MethodGet:
+		h.handleMetrics(w)
 	case r.URL.Path == "/healthz" && r.Method == http.MethodGet:
 		h.handleHealthz(w)
 	default:
@@ -274,8 +353,11 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // handleHealthz reports liveness and readiness. The process serving the
 // response is by definition live; readiness flips off when the handler
 // is draining, with the 503 status carrying the same signal to probes
-// that only read status codes.
+// that only read status codes. The drain flag is loaded exactly once —
+// deriving Ready and Draining from two loads would let a drain flipping
+// between them report the contradictory Ready && Draining.
 func (h *Handler) handleHealthz(w http.ResponseWriter) {
+	draining := h.draining.Load()
 	h.mu.Lock()
 	inFlight := h.inFlight
 	h.mu.Unlock()
@@ -284,15 +366,19 @@ func (h *Handler) handleHealthz(w http.ResponseWriter) {
 		Ready    bool `json:"ready"`
 		Draining bool `json:"draining"`
 		InFlight int  `json:"inFlight"`
-		Sessions int  `json:"sessions,omitempty"`
+		// Sessions is a pointer so "session table enabled, zero live
+		// sessions" serializes as "sessions":0 instead of vanishing into
+		// the same absence that means "sessions disabled".
+		Sessions *int `json:"sessions,omitempty"`
 	}{
 		Live:     true,
-		Ready:    !h.draining.Load(),
-		Draining: h.draining.Load(),
+		Ready:    !draining,
+		Draining: draining,
 		InFlight: inFlight,
 	}
 	if h.table != nil {
-		status.Sessions = h.table.Len()
+		n := h.table.Len()
+		status.Sessions = &n
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if !status.Ready {
@@ -317,7 +403,7 @@ func (h *Handler) resolveSession(w http.ResponseWriter, r *http.Request, bodyTok
 	// than evicting an established client's session (and journal) to make
 	// room — churn would silently cost evicted clients their replay state.
 	if h.shedding && h.table.Full() && !h.table.Has(token) {
-		shed(w, "session table full")
+		h.shed(w, shedTableFull)
 		return nil, false
 	}
 	sess, err := h.table.Get(token)
@@ -355,7 +441,7 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 		res, err := sess.Server().Answer(r.Context(), q)
 		switch {
 		case errors.Is(err, hiddendb.ErrQuotaExceeded):
-			http.Error(w, "query quota exceeded", http.StatusTooManyRequests)
+			h.reject429(w)
 		case err != nil:
 			http.Error(w, "server error: "+err.Error(), http.StatusInternalServerError)
 		default:
@@ -368,7 +454,7 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 	h.requests++
 	if h.quota > 0 && h.queries >= h.quota {
 		h.mu.Unlock()
-		http.Error(w, "query quota exceeded", http.StatusTooManyRequests)
+		h.reject429(w)
 		return
 	}
 	h.queries++
@@ -383,7 +469,7 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 		h.queries--
 		h.mu.Unlock()
 		if errors.Is(err, hiddendb.ErrQuotaExceeded) {
-			http.Error(w, "query quota exceeded", http.StatusTooManyRequests)
+			h.reject429(w)
 			return
 		}
 		http.Error(w, "server error: "+err.Error(), http.StatusInternalServerError)
@@ -418,6 +504,7 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad batch: empty", http.StatusBadRequest)
 		return
 	}
+	h.noteBatchWidth(len(qs))
 
 	if h.table != nil {
 		h.noteRequest()
@@ -437,7 +524,7 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 		remaining := h.quota - h.queries
 		if remaining <= 0 {
 			h.mu.Unlock()
-			http.Error(w, "query quota exceeded", http.StatusTooManyRequests)
+			h.reject429(w)
 			return
 		}
 		if admitted > remaining {
@@ -481,7 +568,7 @@ func (h *Handler) writeBatch(w http.ResponseWriter, qs []dataspace.Query, res []
 	quotaHit := errors.Is(err, hiddendb.ErrQuotaExceeded)
 	if err != nil && len(res) == 0 {
 		if quotaHit {
-			http.Error(w, "query quota exceeded", http.StatusTooManyRequests)
+			h.reject429(w)
 		} else {
 			http.Error(w, "server error: "+err.Error(), http.StatusInternalServerError)
 		}
@@ -565,7 +652,7 @@ func (h *Handler) handleCrawl(w http.ResponseWriter, r *http.Request) {
 		exhausted := h.quota > 0 && h.queries >= h.quota
 		h.mu.Unlock()
 		if exhausted {
-			http.Error(w, "query quota exceeded", http.StatusTooManyRequests)
+			h.reject429(w)
 			return
 		}
 		served := 0
@@ -692,6 +779,7 @@ func (h *Handler) handleStats(w http.ResponseWriter) {
 				SharedHits:  s.SharedHits,
 				SharedWaits: s.SharedWaits,
 				SharedLeads: s.SharedLeads,
+				RateClass:   s.RateClass,
 			})
 		}
 		if sc := h.table.SharedCache(); sc != nil {

@@ -1,0 +1,306 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"hidb/internal/dataspace"
+	"hidb/internal/simrand"
+	"hidb/internal/wire"
+)
+
+// backend abstracts how ops reach the server — in-process under a virtual
+// clock (RunSim) or over a socket (RunSocket) — so both modes share one
+// schedule.
+type backend interface {
+	// do performs one HTTP exchange under the client's identity.
+	// stopAfter > 0 hangs up (cancels the request) after that many
+	// response lines — the Abort op's mid-stream disconnect.
+	do(c *client, method, path, token string, body []byte, stopAfter int) (opResult, error)
+	// sleep pauses the client between ops.
+	sleep(c *client, d time.Duration)
+}
+
+// opResult is one HTTP exchange's outcome.
+type opResult struct {
+	status  int
+	body    []byte
+	elapsed time.Duration
+}
+
+// client is one virtual token session.
+type client struct {
+	index int
+	token string
+	rng   *simrand.RNG
+	// phased marks the client's first sleep as already carrying its
+	// deadline-residue offset (see simBackend.sleep).
+	phased bool
+	// cursor is the crawl resume position: tuples received so far across
+	// this client's /crawl streams, sent as wire.CrawlRequest.Skip.
+	cursor int
+	// aborted marks a crawl hang-up whose follow-up counts as a resume.
+	aborted bool
+	// badN makes each BadToken op's unseen token unique.
+	badN int
+}
+
+// driver walks every client through the op schedule and accumulates the
+// Report.
+type driver struct {
+	cfg     Config
+	schema  *dataspace.Schema
+	be      backend
+	clients []*client
+
+	mu  sync.Mutex
+	rep Report
+}
+
+func newDriver(cfg Config, schema *dataspace.Schema, be backend) *driver {
+	d := &driver{cfg: cfg, schema: schema, be: be}
+	d.clients = make([]*client, cfg.Sessions)
+	for i := range d.clients {
+		d.clients[i] = &client{
+			index: i,
+			token: fmt.Sprintf("load-%04d", i),
+			// Offsetting the seed per client keeps the streams
+			// independent; +1 keeps client 0 off the raw config seed.
+			rng: simrand.New(cfg.Seed + uint64(i) + 1),
+		}
+	}
+	return d
+}
+
+// warmup issues one universe query under the client's token, so the
+// session table holds every legitimate token before concurrent ops begin —
+// which is what makes the BadToken op's table-full sheds deterministic.
+func (d *driver) warmup(c *client) {
+	body, _ := json.Marshal(wire.QueryMsg{Preds: d.wildPreds()})
+	d.be.do(c, "POST", "/query", c.token, body, 0)
+}
+
+// run performs the client's whole schedule: think, op, repeat.
+func (d *driver) run(c *client) {
+	half := d.cfg.Think / 2
+	if half < 1 {
+		half = 1
+	}
+	for i := 0; i < d.cfg.Ops; i++ {
+		d.be.sleep(c, half+time.Duration(c.rng.Int64n(int64(half))))
+		d.op(c)
+	}
+}
+
+// op draws one op from the mix and performs it.
+func (d *driver) op(c *client) {
+	m := d.cfg.Mix
+	w := c.rng.Intn(m.total())
+	switch {
+	case w < m.Query:
+		d.count(func(r *Report) { r.OpQuery++ })
+		d.opQuery(c)
+	case w < m.Query+m.Batch:
+		d.count(func(r *Report) { r.OpBatch++ })
+		d.opBatch(c)
+	case w < m.Query+m.Batch+m.Crawl:
+		d.count(func(r *Report) { r.OpCrawl++ })
+		d.opCrawl(c)
+	case w < m.Query+m.Batch+m.Crawl+m.Abort:
+		d.count(func(r *Report) { r.OpAbort++ })
+		d.opAbort(c)
+	default:
+		d.count(func(r *Report) { r.OpBadToken++ })
+		d.opBadToken(c)
+	}
+}
+
+func (d *driver) opQuery(c *client) {
+	body, _ := json.Marshal(wire.QueryMsg{Preds: d.randPreds(c)})
+	res, err := d.be.do(c, "POST", "/query", c.token, body, 0)
+	d.note(res, err)
+}
+
+func (d *driver) opBatch(c *client) {
+	msg := wire.BatchRequest{Queries: make([]wire.QueryMsg, d.cfg.BatchWidth)}
+	for i := range msg.Queries {
+		msg.Queries[i] = wire.QueryMsg{Preds: d.randPreds(c)}
+	}
+	body, _ := json.Marshal(msg)
+	res, err := d.be.do(c, "POST", "/batch", c.token, body, 0)
+	ok := d.note(res, err)
+	if !ok {
+		return
+	}
+	var out wire.BatchResponse
+	if json.Unmarshal(res.body, &out) == nil && out.QuotaExceeded {
+		d.count(func(r *Report) { r.Quota429++ })
+	}
+}
+
+func (d *driver) opCrawl(c *client) {
+	resumed := c.aborted
+	c.aborted = false
+	res, err := d.crawl(c, 0)
+	if !d.note(res, err) {
+		return
+	}
+	if resumed {
+		d.count(func(r *Report) { r.Resumed++ })
+	}
+}
+
+// opAbort starts a crawl, hangs up after a few NDJSON lines, then
+// reconnects with the resume cursor and lets the crawl finish — the flaky
+// client's full round trip. Only the resumed stream's latency is sampled;
+// the hang-up is the failure being simulated, not an answered op.
+func (d *driver) opAbort(c *client) {
+	stop := 1 + c.rng.Intn(4)
+	d.crawl(c, stop)
+	d.count(func(r *Report) { r.Aborted++ })
+	res, err := d.crawl(c, 0)
+	if d.note(res, err) {
+		d.count(func(r *Report) { r.Resumed++ })
+	}
+	c.aborted = false
+}
+
+// opBadToken queries under a token the server has never seen. With the
+// session table full (warmup filled it) a shedding server answers 503
+// rather than evicting an established session, so this op lands in
+// Shed503 via note.
+func (d *driver) opBadToken(c *client) {
+	c.badN++
+	token := fmt.Sprintf("zz-%04d-%d", c.index, c.badN)
+	body, _ := json.Marshal(wire.QueryMsg{Preds: d.randPreds(c)})
+	res, err := d.be.do(c, "POST", "/query", token, body, 0)
+	d.note(res, err)
+}
+
+// crawl posts one /crawl stream from the client's cursor and advances the
+// cursor by the tuples received — complete stream or hang-up alike.
+func (d *driver) crawl(c *client, stopAfter int) (opResult, error) {
+	msg := wire.CrawlRequest{Algorithm: d.cfg.Algorithm, Skip: c.cursor}
+	body, _ := json.Marshal(msg)
+	res, err := d.be.do(c, "POST", "/crawl", c.token, body, stopAfter)
+	if err != nil || res.status != 200 {
+		return res, err
+	}
+	tuples := 0
+	for _, ev := range parseEvents(res.body) {
+		if ev.Done {
+			if ev.QuotaExceeded {
+				d.count(func(r *Report) { r.Quota429++ })
+			}
+			continue
+		}
+		if ev.Tuple != nil {
+			tuples++
+		}
+	}
+	c.cursor += tuples
+	if stopAfter > 0 {
+		c.aborted = true
+	}
+	d.count(func(r *Report) { r.Tuples += tuples })
+	return res, err
+}
+
+// note books one exchange's outcome and reports whether it succeeded.
+func (d *driver) note(res opResult, err error) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.rep.Ops++
+	switch {
+	case err != nil:
+		d.rep.Errors++
+		return false
+	case res.status == 429:
+		d.rep.Quota429++
+		return false
+	case res.status == 503:
+		d.rep.Shed503++
+		return false
+	case res.status >= 300:
+		d.rep.Errors++
+		return false
+	}
+	d.rep.Latencies = append(d.rep.Latencies, res.elapsed)
+	return true
+}
+
+func (d *driver) count(f func(*Report)) {
+	d.mu.Lock()
+	f(&d.rep)
+	d.mu.Unlock()
+}
+
+// report finalizes the Report. elapsed and paid come from the backend
+// (virtual clock + in-process handler, or real clock + GET /stats).
+func (d *driver) report(elapsed time.Duration, paid int) *Report {
+	d.rep.Name = fmt.Sprintf("loadgen/%s/s%dx%d", d.cfg.Dataset, d.cfg.Sessions, d.cfg.Ops)
+	d.rep.Elapsed = elapsed
+	d.rep.PaidQueries = paid
+	return &d.rep
+}
+
+// wildPreds is the universe query's predicate list.
+func (d *driver) wildPreds() []wire.Pred {
+	preds := make([]wire.Pred, d.schema.Dims())
+	for i := range preds {
+		if d.schema.Attr(i).Kind == dataspace.Categorical {
+			preds[i] = wire.Pred{Wild: true}
+		}
+	}
+	return preds
+}
+
+// randPreds builds a random form query: every attribute wild except one,
+// constrained to a random point (categorical) or range (numeric).
+func (d *driver) randPreds(c *client) []wire.Pred {
+	preds := d.wildPreds()
+	i := c.rng.Intn(d.schema.Dims())
+	attr := d.schema.Attr(i)
+	if attr.Kind == dataspace.Categorical {
+		v := 1 + c.rng.Int64n(int64(attr.DomainSize))
+		preds[i] = wire.Pred{Value: &v}
+		return preds
+	}
+	min, max := attr.Min, attr.Max
+	if min == 0 && max == 0 {
+		min, max = 0, 1<<20
+	}
+	a := min + c.rng.Int64n(max-min+1)
+	b := min + c.rng.Int64n(max-min+1)
+	if a > b {
+		a, b = b, a
+	}
+	preds[i] = wire.Pred{Lo: &a, Hi: &b}
+	return preds
+}
+
+// parseEvents splits an NDJSON /crawl body into its events, ignoring any
+// trailing partial line a hang-up may have cut.
+func parseEvents(body []byte) []wire.CrawlEvent {
+	var events []wire.CrawlEvent
+	for len(body) > 0 {
+		nl := -1
+		for j, ch := range body {
+			if ch == '\n' {
+				nl = j
+				break
+			}
+		}
+		if nl < 0 {
+			break
+		}
+		var ev wire.CrawlEvent
+		if json.Unmarshal(body[:nl], &ev) == nil {
+			events = append(events, ev)
+		}
+		body = body[nl+1:]
+	}
+	return events
+}

@@ -1,0 +1,69 @@
+package parallel
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"hidb/internal/core"
+)
+
+// TestAdaptiveDepthMatchesOrBeatsFixed is the adaptive pipeline's
+// acceptance claim, measured under the virtual clock: at 32 workers and a
+// simulated 3 ms round trip, Options.InFlight = InFlightAdaptive matches
+// or beats the fixed double buffer (-inflight 2) in virtual wall clock,
+// with zero round-trip regression and bit-identical query cost.
+func TestAdaptiveDepthMatchesOrBeatsFixed(t *testing.T) {
+	ds := wideDataset(t)
+	const k, workers, delay = 32, 32, 3 * time.Millisecond
+
+	e2, t2, q2 := simCrawl(t, ds, k, workers, 0, 2, delay)
+	ea, ta, qa := simCrawl(t, ds, k, workers, 0, core.InFlightAdaptive, delay)
+
+	if qa != q2 {
+		t.Fatalf("adaptive depth changed the cost metric: %d queries vs %d at fixed depth 2", qa, q2)
+	}
+	if ea > e2 {
+		t.Errorf("adaptive depth is slower than fixed depth 2: %v vs %v", ea, e2)
+	}
+	if ta > t2 {
+		t.Errorf("adaptive depth paid %d round trips vs %d at fixed depth 2 — regression", ta, t2)
+	}
+	t.Logf("fixed depth 2: %v in %d trips; adaptive: %v in %d trips (%.2fx); %d queries",
+		e2, t2, ea, ta, float64(e2)/float64(ea), qa)
+}
+
+// TestAdaptiveDepthDeterministic: the widening decisions happen inside
+// the dispatcher's deterministic loop, so two adaptive runs agree bit for
+// bit on elapsed time, round trips and cost.
+func TestAdaptiveDepthDeterministic(t *testing.T) {
+	ds := wideDataset(t)
+	const k, workers, delay = 32, 16, 3 * time.Millisecond
+	e1, t1, q1 := simCrawl(t, ds, k, workers, 0, core.InFlightAdaptive, delay)
+	e2, t2, q2 := simCrawl(t, ds, k, workers, 0, core.InFlightAdaptive, delay)
+	if e1 != e2 || t1 != t2 || q1 != q2 {
+		t.Fatalf("adaptive virtual runs diverged: (%v, %d trips, %d queries) vs (%v, %d trips, %d queries)",
+			e1, t1, q1, e2, t2, q2)
+	}
+}
+
+// TestAdaptiveDepthCostInvariant: adaptive widening can never change the
+// paper's cost metric, at any batch width — including narrowed widths,
+// where the default depth already compensates and widening goes further.
+func TestAdaptiveDepthCostInvariant(t *testing.T) {
+	ds := dataset(t, specs()["mixed"], 47)
+	k := 32
+	if m := ds.Tuples.MaxMultiplicity(); m > k {
+		k = m
+	}
+	ref, err := (core.Hybrid{}).Crawl(context.Background(), server(t, ds, k), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{1, 4, 16} {
+		_, _, q := simCrawl(t, ds, k, 16, batch, core.InFlightAdaptive, time.Millisecond)
+		if q != ref.Queries {
+			t.Errorf("batch=%d adaptive: cost %d != sequential %d", batch, q, ref.Queries)
+		}
+	}
+}

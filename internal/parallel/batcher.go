@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -49,14 +50,15 @@ import (
 // under deterministic virtual time: the batcher keeps the clock's hold
 // count — one hold per runnable worker, per queued request, per completion
 // signal — so the clock advances only when every goroutine of the crawl is
-// blocked on an in-flight (virtually sleeping) round trip. Two details
-// differ from real time, both in the direction of determinism: a partial
-// batch departs at a quiescence tick (the clock's idle callback) rather
-// than the instant the ready channel happens to look empty, and a
-// completion by itself flushes nothing — the workers it wakes get to
-// submit their follow-up queries at the same virtual instant first. Batch
-// sizes, round-trip counts and the virtual elapsed time therefore depend
-// only on the crawl's dependency structure, not on scheduler timing.
+// blocked on an in-flight (virtually sleeping) round trip. Launches then
+// happen only at quiescence ticks (the clock's idle callback), over the
+// pending list in canonical key order — a completion by itself flushes
+// nothing; the workers it wakes get to submit their follow-up queries at
+// the same virtual instant first, and since any batch launched within a
+// simulated instant departs at that instant, the deferral is free. Batch
+// sizes, batch membership, round-trip counts and the virtual elapsed time
+// therefore depend only on the crawl's dependency structure, not on
+// scheduler timing.
 type batcher struct {
 	// ctx is the crawl's context: every batch round trip is issued under
 	// it, so cancelling the crawl cancels its in-flight batches at the
@@ -65,20 +67,36 @@ type batcher struct {
 	inner    hiddendb.Server
 	opts     *core.Options
 	maxBatch int
-	depth    int
+	// depth is the pipeline's base depth. The dispatcher owns the live
+	// (possibly widened) value as run's local; partial batches are always
+	// gated at this base value, so idleTick reads it directly.
+	depth int
+	// adaptive lets the dispatcher widen the depth up to maxAdaptiveDepth
+	// whenever a full-width batch is blocked on a flight slot — the
+	// signal that one more overlapped round trip saves its whole latency.
+	// No blocked full batch, no widening: the savings have flattened.
+	adaptive bool
 	clock    *hiddendb.SimClock // nil outside virtual-time simulations
 	reqs     chan flightReq
 	donec    chan struct{}
 	tickc    chan struct{}
 	stop     chan struct{}
 
-	// pendingN and inflightN mirror the dispatcher's private state for the
-	// virtual clock's idle callback, which must decide "is there a batch to
-	// flush and a slot to fly it in?" from outside the dispatcher
-	// goroutine. They are only read at quiescence, when the dispatcher is
-	// parked and the values are exact.
+	// pendingN, inflightN and depthN mirror the dispatcher's private state
+	// for the virtual clock's idle callback, which must decide "is there a
+	// batch to flush and a slot to fly it in — or a widening to grant?"
+	// from outside the dispatcher goroutine. They are only read at
+	// quiescence, when the dispatcher is parked and the values are exact.
 	pendingN  atomic.Int32
 	inflightN atomic.Int32
+	depthN    atomic.Int32
+
+	// progressMu serializes OnProgress callbacks across concurrently
+	// completing round trips: the sequential engine invokes the callback
+	// serially, so callers write non-thread-safe observers — the parallel
+	// engine must honour the same contract. Separate from mu so a slow
+	// observer never blocks result delivery or the dispatcher.
+	progressMu sync.Mutex
 
 	mu      sync.Mutex
 	flights map[string]*flight
@@ -108,22 +126,29 @@ type flight struct {
 	sealed  bool
 }
 
-// flightReq pairs a query with the flight awaiting its response.
+// flightReq pairs a query with the flight awaiting its response. key is
+// q.Key(), precomputed by Answer: under a virtual clock the dispatcher
+// sorts the pending list by it (see run).
 type flightReq struct {
-	q dataspace.Query
-	f *flight
+	q   dataspace.Query
+	key string
+	f   *flight
 }
 
 // newBatcher starts the dispatcher; the caller must close() it after the
 // crawl's last Answer has returned. maxBatch bounds the width of one round
 // trip, depth how many round trips overlap: at most maxBatch×depth queries
 // are in flight at once.
-func newBatcher(ctx context.Context, inner hiddendb.Server, maxBatch, depth int, clock *hiddendb.SimClock, opts *core.Options) *batcher {
+func newBatcher(ctx context.Context, inner hiddendb.Server, maxBatch, depth int, adaptive bool, clock *hiddendb.SimClock, opts *core.Options) *batcher {
 	if maxBatch < 1 {
 		maxBatch = 1
 	}
 	if depth < 1 {
 		depth = 1
+	}
+	maxDepth := depth
+	if adaptive && maxDepth < maxAdaptiveDepth {
+		maxDepth = maxAdaptiveDepth
 	}
 	b := &batcher{
 		ctx:      ctx,
@@ -131,15 +156,18 @@ func newBatcher(ctx context.Context, inner hiddendb.Server, maxBatch, depth int,
 		opts:     opts,
 		maxBatch: maxBatch,
 		depth:    depth,
+		adaptive: adaptive,
 		clock:    clock,
 		reqs:     make(chan flightReq, maxBatch),
-		// Buffered to the flight-slot count so completion signals never
-		// block a delivering goroutine even when the dispatcher is busy.
-		donec:   make(chan struct{}, depth),
+		// Buffered to the flight-slot count (the widest the pipeline may
+		// ever grow) so completion signals never block a delivering
+		// goroutine even when the dispatcher is busy.
+		donec:   make(chan struct{}, maxDepth),
 		tickc:   make(chan struct{}, 1),
 		stop:    make(chan struct{}),
 		flights: make(map[string]*flight),
 	}
+	b.depthN.Store(int32(depth))
 	if clock != nil {
 		clock.SetIdle(b.idleTick)
 	}
@@ -162,13 +190,34 @@ func (b *batcher) close() {
 	close(b.stop)
 }
 
-// idleTick is the SimClock's quiescence callback: with a batch pending and
-// a flight slot free, wake the dispatcher to flush before virtual time
-// advances. The granted hold rides the tick message and is released by the
-// dispatcher once the flush is processed. Runs with the clock's lock held,
-// while every crawl goroutine is parked — the atomics are exact.
+// idleTick is the SimClock's quiescence callback: wake the dispatcher
+// before virtual time advances whenever it could launch something — a
+// full-width batch with a flight slot free (or, in adaptive mode, with
+// headroom left to widen one), or a partial batch with a base-depth slot
+// free. Under a virtual clock the dispatcher launches only on these ticks
+// (see run), so the conditions here must cover exactly the launch rules.
+// The granted hold rides the tick message and is released by the
+// dispatcher once the flush is processed. Runs with the clock's lock
+// held, while every crawl goroutine is parked — the atomics are exact.
+//
+// The partial-flush slot test uses the base depth, never a widened one:
+// partial batches do not ride widened slots — see run. Gating partials on
+// the widened depth would flush them early and pay extra round trips for
+// wall clock the full batches already won.
+//
+// A tick must never fire when the dispatcher would wake and change
+// nothing: it would park back into the identical quiescent state and
+// re-tick forever, without virtual time ever passing.
 func (b *batcher) idleTick() bool {
-	if b.pendingN.Load() == 0 || b.inflightN.Load() >= int32(b.depth) {
+	pending := b.pendingN.Load()
+	if pending == 0 {
+		return false
+	}
+	inflight, depth := b.inflightN.Load(), b.depthN.Load()
+	full := pending >= int32(b.maxBatch) &&
+		(inflight < depth || (b.adaptive && depth < maxAdaptiveDepth))
+	partial := inflight < int32(b.depth)
+	if !full && !partial {
 		return false
 	}
 	select {
@@ -221,10 +270,15 @@ func (b *batcher) Answer(q dataspace.Query) (hiddendb.Result, error) {
 	b.flights[key] = f
 	b.mu.Unlock()
 
-	b.reqs <- flightReq{q: q, f: f} // the worker's hold rides the request
+	b.reqs <- flightReq{q: q, key: key, f: f} // the worker's hold rides the request
 	<-f.done
 	return f.res, f.err
 }
+
+// maxAdaptiveDepth caps how far an adaptive pipeline may widen — a
+// runaway bound far above any latency×throughput product the crawls here
+// produce, not a tuning knob.
+const maxAdaptiveDepth = 64
 
 // run is the dispatcher loop. Wait for a trigger — a ready query, a
 // completed round trip, or (under a virtual clock) a quiescence tick —
@@ -236,6 +290,7 @@ func (b *batcher) Answer(q dataspace.Query) (hiddendb.Result, error) {
 // simulated time pass while they wait.
 func (b *batcher) run() {
 	var pending []flightReq
+	depth := b.depth
 	inflight := 0
 	held := 0 // clock holds owned by the dispatcher (one per trigger consumed)
 
@@ -265,22 +320,56 @@ func (b *batcher) run() {
 				break drain
 			}
 		}
-		// Launch while a flight slot is free. A full-width batch always
-		// departs; a partial one departs speculatively under real time
-		// (the ready queue is drained — waiting could only delay it), but
-		// under a virtual clock only at a quiescence tick, when this
-		// simulated instant provably has no more queries to offer.
-		for len(pending) > 0 && inflight < b.depth &&
-			(len(pending) >= b.maxBatch || b.clock == nil || ticked) {
-			n := min(b.maxBatch, len(pending))
-			batch := make([]flightReq, n)
-			copy(batch, pending)
-			rest := copy(pending, pending[n:])
-			pending = pending[:rest]
-			inflight++
-			b.inflightN.Store(int32(inflight))
-			b.clock.Hold() // the issue goroutine's hold
-			go b.issue(batch)
+		// Launch while a flight slot is free. Under real time this is
+		// eager: a full-width batch departs the moment it fills, a partial
+		// one speculatively once the ready queue is drained (waiting could
+		// only delay it), and widening happens the instant a full batch is
+		// blocked. Under a virtual clock every launch decision instead
+		// waits for a quiescence tick and processes the pending list in
+		// canonical key order: mid-instant, which queries have arrived and
+		// in what order is scheduler noise, but the quiescent set is exact
+		// — and since a batch launched anywhere within a simulated instant
+		// departs at that instant, the deferral costs no virtual time.
+		// Batch membership (in particular, which queries are left behind
+		// when the slots run out) therefore depends only on the crawl's
+		// dependency structure. In adaptive mode a partial batch is
+		// additionally gated at the base depth: widened slots carry
+		// full-width batches only, so widening can move full batches
+		// earlier but never fragments the stream into extra partial round
+		// trips.
+		if b.clock == nil || ticked {
+			if b.clock != nil {
+				sort.Slice(pending, func(i, j int) bool {
+					return pending[i].key < pending[j].key
+				})
+			}
+			for {
+				for len(pending) > 0 && inflight < depth {
+					if len(pending) < b.maxBatch && inflight >= b.depth {
+						break
+					}
+					n := min(b.maxBatch, len(pending))
+					batch := make([]flightReq, n)
+					copy(batch, pending)
+					rest := copy(pending, pending[n:])
+					pending = pending[:rest]
+					inflight++
+					b.inflightN.Store(int32(inflight))
+					b.clock.Hold() // the issue goroutine's hold
+					go b.issue(batch)
+				}
+				// Adaptive widening: a full-width batch is ready but every
+				// slot is busy — launching it now instead of after the
+				// next completion saves a round trip of latency, so widen
+				// by one and launch it. When no full batch is blocked, the
+				// savings have flattened and the depth stays put.
+				if !b.adaptive || depth >= maxAdaptiveDepth ||
+					inflight < depth || len(pending) < b.maxBatch {
+					break
+				}
+				depth++
+				b.depthN.Store(int32(depth))
+			}
 		}
 		b.pendingN.Store(int32(len(pending)))
 		b.inflightN.Store(int32(inflight))
@@ -351,9 +440,11 @@ func (b *batcher) issue(batch []flightReq) {
 	}
 	b.mu.Unlock()
 	if b.opts.OnProgress != nil {
+		b.progressMu.Lock()
 		for _, p := range points {
 			b.opts.OnProgress(p)
 		}
+		b.progressMu.Unlock()
 	}
 
 	// Clock protocol: mint the woken workers' holds (and the completion

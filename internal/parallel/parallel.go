@@ -75,13 +75,15 @@ func (c Crawler) Crawl(ctx context.Context, srv hiddendb.Server, opts *core.Opti
 		maxBatch = c.workers()
 	}
 	depth := opts.InFlight
+	adaptive := depth == core.InFlightAdaptive
 	if depth <= 0 {
 		// Double-buffer by default; with a narrowed batch width, keep at
 		// least Workers queries in flight (the pre-pipelining bound) by
-		// deepening the pipeline to compensate.
+		// deepening the pipeline to compensate. Adaptive mode starts from
+		// the same default and widens on demand (see batcher).
 		depth = max(2, (c.workers()+maxBatch-1)/maxBatch)
 	}
-	b := newBatcher(ctx, srv, maxBatch, depth, opts.Clock, opts)
+	b := newBatcher(ctx, srv, maxBatch, depth, adaptive, opts.Clock, opts)
 	defer b.close()
 	p := &pool{
 		srv:    b,

@@ -3,6 +3,7 @@ package session
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -90,5 +91,102 @@ func TestSessionRateLimitCancelsPromptly(t *testing.T) {
 	}
 	if sess.Queries() != 1 {
 		t.Fatalf("cancelled wait paid a query: %d, want 1", sess.Queries())
+	}
+}
+
+// TestRateClassResolution: tokens resolve to a named tier by prefix
+// (before the first '-'), a resolved class replaces the table-wide rate
+// wholesale — including an explicit unlimited tier — and everything else
+// falls back to the flat rate. Classes shape timing only; Stats and
+// ClassCounts expose who landed where.
+func TestRateClassResolution(t *testing.T) {
+	tbl, ds := rateTable(t, Config{
+		// Flat rate so slow that any default-tier session issuing two
+		// distinct queries would stall for seconds.
+		RatePerSecond: 0.2,
+		RateBurst:     1,
+		RateClasses: []RateClass{
+			{Name: "gold"},                           // PerSecond 0: explicit unlimited
+			{Name: "slow", PerSecond: 0.1, Burst: 1}, // even tighter than flat
+		},
+	})
+	qs := distinctQueries(ds.Schema, 3)
+
+	cases := []struct {
+		token, class string
+	}{
+		{"gold-alice", "gold"}, // prefix match
+		{"gold", ""},           // no '-': default tier
+		{"-gold", ""},          // empty prefix: default tier
+		{"silver-bob", ""},     // unknown prefix: default tier
+		{"slow-carol", "slow"},
+	}
+	for _, c := range cases {
+		sess, err := tbl.Get(c.token)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sess.RateClass(); got != c.class {
+			t.Errorf("token %q resolved to class %q, want %q", c.token, got, c.class)
+		}
+	}
+
+	// The unlimited class must really be unthrottled: three distinct paid
+	// queries, no waiting, while the flat rate would allow one per 5s.
+	gold, _ := tbl.Get("gold-alice")
+	start := time.Now()
+	for _, q := range qs {
+		if _, err := gold.Server().Answer(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("unlimited class waited %v; the flat rate leaked through", elapsed)
+	}
+	if gold.Queries() != 3 {
+		t.Fatalf("gold session paid %d queries, want 3 (classes change timing, never counts)", gold.Queries())
+	}
+
+	// Snapshots carry the resolved class, and ClassCounts aggregates only
+	// classed sessions — default-tier tokens are not listed.
+	byToken := map[string]string{}
+	for _, st := range tbl.Stats() {
+		byToken[st.Token] = st.RateClass
+	}
+	if byToken["gold-alice"] != "gold" || byToken["slow-carol"] != "slow" || byToken["silver-bob"] != "" {
+		t.Errorf("Stats rate classes wrong: %v", byToken)
+	}
+	counts := tbl.ClassCounts()
+	if counts["gold"] != 1 || counts["slow"] != 1 || len(counts) != 2 {
+		t.Errorf("ClassCounts = %v, want map[gold:1 slow:1]", counts)
+	}
+}
+
+// TestRateClassCustomResolver: Config.RateClassFor overrides the prefix
+// rule entirely — here a suffix convention routes tokens to their tier.
+func TestRateClassCustomResolver(t *testing.T) {
+	tbl, _ := rateTable(t, Config{
+		RateClasses: []RateClass{{Name: "vip"}},
+		RateClassFor: func(token string) string {
+			if strings.HasSuffix(token, "!") {
+				return "vip"
+			}
+			return ""
+		},
+	})
+	vip, err := tbl.Get("alice!")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vip.RateClass() != "vip" {
+		t.Errorf("suffix token resolved to %q, want vip", vip.RateClass())
+	}
+	// With a custom resolver the prefix rule must not apply.
+	plain, err := tbl.Get("vip-bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.RateClass() != "" {
+		t.Errorf("prefix rule leaked through custom resolver: %q", plain.RateClass())
 	}
 }

@@ -15,7 +15,9 @@
 // set), so an over-budget request 429s immediately instead of waiting out
 // a throttle for queries that would be rejected anyway. Once answered it
 // is journaled; a wait cancelled mid-batch refunds both the budget and
-// the rate tokens, since nothing was issued. The Counting innermost layer is therefore exactly the paper's
+// the rate tokens, since nothing was issued. Config.RateClasses names
+// qps/burst tiers resolved per token — gold keys faster than free keys —
+// without touching budgets or counts. The Counting innermost layer is therefore exactly the paper's
 // cost metric, per client: queries that actually reached the hidden
 // database on this token's budget. Every layer honours the request ctx, so
 // one client hanging up cancels only its own in-flight work — including a
@@ -50,6 +52,7 @@ import (
 	"math"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -78,6 +81,18 @@ type Config struct {
 	// how many queries a client may issue back-to-back after idling.
 	// Zero means the ceiling of RatePerSecond (at least 1).
 	RateBurst int
+	// RateClasses names per-token qps/burst tiers — the QoS knob of a
+	// real API: gold keys sustain more queries per second than free
+	// keys. Each token is resolved to a class name by RateClassFor (or,
+	// when nil, by its prefix up to the first '-': token "gold-alice"
+	// joins class "gold"); a token resolving to no listed class falls
+	// back to the flat RatePerSecond/RateBurst. Classes shape timing
+	// only — budgets, journals and the paper's query counts are
+	// untouched. A duplicated class name is resolved by the last entry.
+	RateClasses []RateClass
+	// RateClassFor, when non-nil, overrides the default prefix resolver:
+	// it maps a token to the name of its rate class ("" for none).
+	RateClassFor func(token string) string
 	// TTL evicts a session idle for longer; zero disables expiry. With a
 	// quota, the TTL is the budget window: a token returning after expiry
 	// gets a fresh session, hence a fresh budget (and its reloaded
@@ -104,6 +119,18 @@ type Config struct {
 	SharedCacheBytes int64
 }
 
+// RateClass is one named qps/burst tier of Config.RateClasses.
+type RateClass struct {
+	// Name is the class identifier tokens resolve to.
+	Name string
+	// PerSecond is the class's sustained query rate; zero or negative
+	// leaves class members unthrottled (an explicit "unlimited" tier).
+	PerSecond float64
+	// Burst is the token-bucket capacity; zero means the ceiling of
+	// PerSecond (at least 1), as with Config.RateBurst.
+	Burst int
+}
+
 // Session is one token's private view of the shared server. Its Server
 // stack is safe for concurrent batches, so one client may overlap
 // requests.
@@ -118,9 +145,16 @@ type Session struct {
 	// shared is this session's window onto the fleet-wide answer tier;
 	// nil in paper mode (Config.SharedCache == SharedOff).
 	shared *hiddendb.SharedView
+	// rateClass is the name of the resolved rate class, "" when the
+	// token fell back to the table-wide rate.
+	rateClass string
 
 	lastSeen time.Time // guarded by the owning Table's mutex
 }
+
+// RateClass returns the name of the session's resolved rate class, ""
+// when the token uses the table-wide rate.
+func (s *Session) RateClass() string { return s.rateClass }
 
 // Token returns the session's API token ("" for the anonymous session).
 func (s *Session) Token() string { return s.token }
@@ -202,11 +236,14 @@ type Stats struct {
 	SharedHits  int
 	SharedWaits int
 	SharedLeads int
+	// RateClass names the token's resolved qps tier, "" for the default.
+	RateClass string
 }
 
 func (s *Session) stats() Stats {
 	return Stats{
 		Token:       s.token,
+		RateClass:   s.rateClass,
 		Queries:     s.Queries(),
 		Resolved:    s.Resolved(),
 		Overflowed:  s.Overflowed(),
@@ -229,6 +266,8 @@ type Table struct {
 	// fleet is the table-wide shared answer tier every session's stack
 	// reads through; nil in paper mode (cfg.SharedCache == SharedOff).
 	fleet *hiddendb.Shared
+	// classes indexes cfg.RateClasses by name (later entries win).
+	classes map[string]RateClass
 
 	mu       sync.Mutex
 	sessions map[string]*list.Element // token → lru element holding *Session
@@ -264,7 +303,50 @@ func NewTable(shared hiddendb.Server, cfg Config) *Table {
 	if cfg.SharedCache != hiddendb.SharedOff {
 		t.fleet = hiddendb.NewShared(cfg.SharedCacheBytes)
 	}
+	if len(cfg.RateClasses) > 0 {
+		t.classes = make(map[string]RateClass, len(cfg.RateClasses))
+		for _, cls := range cfg.RateClasses {
+			t.classes[cls.Name] = cls
+		}
+	}
 	return t
+}
+
+// resolveClass maps a token to its rate class, if any: the configured
+// resolver (or the default '-'-prefix rule) names a class, and the name
+// must be listed in Config.RateClasses.
+func (t *Table) resolveClass(token string) (RateClass, bool) {
+	if len(t.classes) == 0 {
+		return RateClass{}, false
+	}
+	var name string
+	if t.cfg.RateClassFor != nil {
+		name = t.cfg.RateClassFor(token)
+	} else if i := strings.IndexByte(token, '-'); i > 0 {
+		name = token[:i]
+	}
+	if name == "" {
+		return RateClass{}, false
+	}
+	cls, ok := t.classes[name]
+	return cls, ok
+}
+
+// ClassCounts returns the live sessions per resolved rate class (tokens
+// on the default rate are not listed); nil when no class is in use.
+func (t *Table) ClassCounts() map[string]int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out map[string]int
+	for el := t.lru.Front(); el != nil; el = el.Next() {
+		if c := el.Value.(*Session).rateClass; c != "" {
+			if out == nil {
+				out = make(map[string]int)
+			}
+			out[c]++
+		}
+	}
+	return out
 }
 
 // SharedCache returns the table-wide shared answer tier, or nil in paper
@@ -357,12 +439,18 @@ func (t *Table) newSession(token string) (*Session, error) {
 	}
 	counting := hiddendb.NewCounting(store)
 	var view hiddendb.Server = counting
-	if t.cfg.RatePerSecond > 0 {
-		burst := t.cfg.RateBurst
+	// The token's rate class, when one resolves, replaces the table-wide
+	// rate wholesale — including an explicit "unlimited" class with
+	// PerSecond 0. Classes change timing only, never counts.
+	rate, burst, className := t.cfg.RatePerSecond, t.cfg.RateBurst, ""
+	if cls, ok := t.resolveClass(token); ok {
+		rate, burst, className = cls.PerSecond, cls.Burst, cls.Name
+	}
+	if rate > 0 {
 		if burst <= 0 {
-			burst = int(math.Ceil(t.cfg.RatePerSecond))
+			burst = int(math.Ceil(rate))
 		}
-		limited, err := hiddendb.NewRateLimited(view, t.cfg.RatePerSecond, burst)
+		limited, err := hiddendb.NewRateLimited(view, rate, burst)
 		if err != nil {
 			return nil, fmt.Errorf("session: token %q: %w", token, err)
 		}
@@ -386,14 +474,15 @@ func (t *Table) newSession(token string) (*Session, error) {
 		return nil, fmt.Errorf("session: token %q: %w", token, err)
 	}
 	return &Session{
-		token:    token,
-		srv:      jsrv,
-		journal:  jnl,
-		jsrv:     jsrv,
-		caching:  caching,
-		quota:    quota,
-		counting: counting,
-		shared:   sharedView,
+		token:     token,
+		srv:       jsrv,
+		journal:   jnl,
+		jsrv:      jsrv,
+		caching:   caching,
+		quota:     quota,
+		counting:  counting,
+		shared:    sharedView,
+		rateClass: className,
 	}, nil
 }
 

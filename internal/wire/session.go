@@ -198,4 +198,7 @@ type SessionStatsMsg struct {
 	SharedHits  int `json:"sharedHits,omitempty"`
 	SharedWaits int `json:"sharedWaits,omitempty"`
 	SharedLeads int `json:"sharedLeads,omitempty"`
+	// RateClass names the token's resolved qps tier (absent on the
+	// default rate) — see session.Config.RateClasses.
+	RateClass string `json:"rateClass,omitempty"`
 }
